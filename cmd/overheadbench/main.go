@@ -1,0 +1,30 @@
+// Command overheadbench regenerates the §7.3 overhead measurements: the
+// CloudViews analyzer's wall time over a cluster's history, the metadata
+// service's per-job lookup latency over its HTTP front end (1 vs 5 client
+// threads), and the optimizer-time impact of creating vs consuming views.
+//
+// Usage:
+//
+//	overheadbench [-seed 7]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cloudviews/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overheadbench: ")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	r, err := bench.RunOverheads(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.WriteOverheads(os.Stdout, r)
+}

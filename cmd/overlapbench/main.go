@@ -1,0 +1,74 @@
+// Command overlapbench regenerates the workload-analysis figures of the
+// paper (§2): Figure 1 (per-cluster overlap), Figure 2 (per-VC overlap in
+// the largest cluster), Figure 3 (per-entity overlap CDFs in the largest
+// business unit), Figure 4 (operator-wise overlap), and Figure 5 (overlap
+// impact distributions).
+//
+// Usage:
+//
+//	overlapbench            # all figures
+//	overlapbench -figure 4  # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cloudviews/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlapbench: ")
+	figure := flag.Int("figure", 0, "figure to regenerate (1-5); 0 = all")
+	flag.Parse()
+
+	run := func(n int) {
+		fmt.Printf("==== Figure %d ====\n", n)
+		switch n {
+		case 1:
+			rows, err := bench.Figure1()
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteFigure1(os.Stdout, rows)
+		case 2:
+			r, err := bench.Figure2()
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteFigure2(os.Stdout, r)
+		case 3:
+			r, err := bench.Figure3()
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteFigure3(os.Stdout, r)
+		case 4:
+			r, err := bench.Figure4()
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteFigure4(os.Stdout, r)
+		case 5:
+			r, err := bench.Figure5()
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteFigure5(os.Stdout, r)
+		default:
+			log.Fatalf("unknown figure %d (want 1-5)", n)
+		}
+		fmt.Println()
+	}
+
+	if *figure != 0 {
+		run(*figure)
+		return
+	}
+	for n := 1; n <= 5; n++ {
+		run(n)
+	}
+}

@@ -1,0 +1,41 @@
+// Command prodbench regenerates Figures 11 and 12 of the paper: the
+// production-style experiment where the analyzer's top views are
+// materialized by the first job of each view group and reused by the rest,
+// measured against a CloudViews-off baseline.
+//
+// Usage:
+//
+//	prodbench [-views 3] [-minfreq 3] [-ratio 0.4] [-jobs 32] [-seed 2024]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cloudviews/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prodbench: ")
+	cfg := bench.DefaultProdConfig()
+	views := flag.Int("views", cfg.TopViews, "number of views to select (paper: 3)")
+	minFreq := flag.Int("minfreq", cfg.MinFrequency, "minimum overlap frequency (paper: 3)")
+	ratio := flag.Float64("ratio", cfg.MinCostRatio, "minimum view-to-job cost ratio")
+	jobs := flag.Int("jobs", cfg.MaxJobs, "maximum relevant jobs (paper: 32)")
+	seed := flag.Int64("seed", cfg.Profile.Seed, "workload seed")
+	flag.Parse()
+
+	cfg.TopViews = *views
+	cfg.MinFrequency = *minFreq
+	cfg.MinCostRatio = *ratio
+	cfg.MaxJobs = *jobs
+	cfg.Profile.Seed = *seed
+
+	r, err := bench.RunProduction(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.WriteProd(os.Stdout, r)
+}

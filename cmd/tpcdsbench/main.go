@@ -1,0 +1,37 @@
+// Command tpcdsbench regenerates Figure 13 of the paper: all 99 TPC-DS
+// queries run once without CloudViews (the analysis history), the analyzer
+// selects the top-K overlapping computations, and the workload reruns with
+// CloudViews on using the job-coordination submission order.
+//
+// Usage:
+//
+//	tpcdsbench [-scale 1.0] [-seed 42] [-views 10]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cloudviews/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpcdsbench: ")
+	cfg := bench.DefaultTPCDSConfig()
+	scale := flag.Float64("scale", cfg.Scale, "TPC-DS scale factor")
+	seed := flag.Int64("seed", cfg.Seed, "data generator seed")
+	views := flag.Int("views", cfg.TopViews, "overlapping computations to select (paper: 10)")
+	flag.Parse()
+
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.TopViews = *views
+
+	r, err := bench.RunTPCDS(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.WriteTPCDS(os.Stdout, r)
+}

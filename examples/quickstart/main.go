@@ -1,0 +1,82 @@
+// Quickstart: two jobs share a computation; CloudViews materializes it
+// during the first job and rewrites the second to reuse it — with zero
+// changes to how either job is written.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cv "cloudviews"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A catalog with one base table: a day of click events.
+	cat := cv.NewCatalog()
+	clicks := cv.NewTable("clicks", "batch-2018-06-10", cv.Schema{
+		{Name: "user", Kind: cv.KindInt},
+		{Name: "url", Kind: cv.KindString},
+		{Name: "ms", Kind: cv.KindFloat},
+	}, 4)
+	rr := 0
+	for i := 0; i < 2000; i++ {
+		clicks.AppendHash(cv.Row{
+			cv.Int(int64(i % 100)),
+			cv.Str(fmt.Sprintf("/page/%d", i%37)),
+			cv.Float(float64(i%500) + 0.25),
+		}, []int{0}, &rr)
+	}
+	cat.Register(clicks)
+
+	// 2. Two teams write jobs that both start from the same expensive
+	//    aggregation: time per user, shuffled and grouped.
+	perUser := func() *cv.Plan {
+		return cv.Scan("clicks", "batch-2018-06-10", clicks.Schema).
+			ShuffleHash([]int{0}, 8).
+			HashAgg([]int{0}, []cv.AggSpec{{Fn: cv.AggSum, Col: 2}, {Fn: cv.AggCount, Col: 1}})
+	}
+	reportJob := perUser().Sort([]int{1}, []bool{true}).Top(10).Output("top_users")
+	alertJob := perUser().
+		Filter(cv.Bin(cv.OpGt, cv.Col(2, "count_url"), cv.Lit(cv.Int(15)))).
+		Output("heavy_users")
+
+	// 3. A CloudViews-enabled service. ValidateResults makes every job
+	//    double-checked against an unoptimized run.
+	svc := cv.NewService(cat, cv.Config{Enabled: true, ValidateResults: true})
+
+	submit := func(id string, root *cv.Plan) *cv.JobResult {
+		r, err := svc.Submit(cv.JobSpec{
+			Meta: cv.JobMeta{JobID: id, VC: "demo", User: "quickstart", TemplateID: id, Period: 1},
+			Root: root,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		return r
+	}
+
+	// 4. First, run both jobs once so the feedback loop has history, then
+	//    let the analyzer find the overlap.
+	submit("report-day0", reportJob)
+	submit("alert-day0", alertJob)
+	an := svc.RunAnalyzer(cv.AnalyzerConfig{MinFrequency: 2, TopK: 1})
+	fmt.Printf("analyzer: %d candidates, selected %d (frequency %d, net utility %.0f)\n",
+		len(an.Candidates), len(an.Selected), an.Selected[0].Frequency, an.Selected[0].Utility)
+
+	// 5. Run the jobs again: the first builds the view, the second reuses.
+	r1 := submit("report-day0-rerun", reportJob)
+	r2 := submit("alert-day0-rerun", alertJob)
+	fmt.Printf("report job: built %d view(s), CPU %.0f (baseline %.0f)\n",
+		len(r1.Decision.ViewsBuilt), r1.Result.TotalCPU, r1.BaselineResult.TotalCPU)
+	fmt.Printf("alert job:  reused %d view(s), CPU %.0f (baseline %.0f) -> %.0f%% saved\n",
+		len(r2.Decision.ViewsUsed), r2.Result.TotalCPU, r2.BaselineResult.TotalCPU,
+		(1-r2.Result.TotalCPU/r2.BaselineResult.TotalCPU)*100)
+
+	for _, row := range r1.Result.Outputs["top_users"][:3] {
+		fmt.Println("top user:", row)
+	}
+}

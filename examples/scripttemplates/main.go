@@ -1,0 +1,124 @@
+// Script templates: jobs authored as SCOPE-like text scripts, the way the
+// paper's users actually write them. Two teams' scripts share their data
+// preparation; the scripts are recurring templates (the @day parameter
+// binds per instance), so one analyzer pass makes every later day build
+// the shared computation once and reuse it — with the script text
+// untouched.
+//
+//	go run ./examples/scripttemplates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cv "cloudviews"
+)
+
+const reportScript = `
+-- team A: daily engagement leaderboard
+rows  = EXTRACT FROM events;
+today = FILTER rows WHERE day == @day;
+part  = SHUFFLE today BY user INTO 8;
+agg   = AGGREGATE part BY user SUM(score), COUNT(action);
+rank  = SORT agg BY sum_score DESC;
+best  = TOP rank 10;
+OUTPUT best TO leaderboard;
+`
+
+const alertScript = `
+-- team B: clones team A's preparation, then finds noisy users
+rows  = EXTRACT FROM events;
+today = FILTER rows WHERE day == @day;
+part  = SHUFFLE today BY user INTO 8;
+agg   = AGGREGATE part BY user SUM(score), COUNT(action);
+noisy = FILTER agg WHERE count_action > 12;
+OUTPUT noisy TO alerts;
+`
+
+var schema = cv.Schema{
+	{Name: "user", Kind: cv.KindInt},
+	{Name: "action", Kind: cv.KindString},
+	{Name: "day", Kind: cv.KindDate},
+	{Name: "score", Kind: cv.KindFloat},
+}
+
+func deliver(cat *cv.Catalog, d int64) {
+	fill := func(t *cv.Table) {
+		rr := 0
+		for i := 0; i < 2500; i++ {
+			t.AppendHash(cv.Row{
+				cv.Int(int64(i % 150)),
+				cv.Str(fmt.Sprintf("a%d", i%9)),
+				cv.Date(17100 + d),
+				cv.Float(float64((i*13)%500) / 2),
+			}, []int{0}, &rr)
+		}
+	}
+	if d == 0 {
+		t := cv.NewTable("events", "events-day0", schema, 8)
+		fill(t)
+		cat.Register(t)
+		return
+	}
+	if err := cat.Deliver("events", fmt.Sprintf("events-day%d", d), fill); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	cat := cv.NewCatalog()
+	deliver(cat, 0)
+	svc := cv.NewService(cat, cv.Config{Enabled: true, ValidateResults: true})
+
+	submit := func(tpl, src string, d int64) *cv.JobResult {
+		compiled, err := cv.CompileScript(src, cat, cv.ScriptParams{"day": cv.Date(17100 + d)})
+		if err != nil {
+			log.Fatalf("%s: %v", tpl, err)
+		}
+		root, err := compiled.Root()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := svc.Submit(cv.JobSpec{
+			Meta: cv.JobMeta{
+				JobID: fmt.Sprintf("%s-day%d", tpl, d), VC: "scripts_vc",
+				User: tpl, TemplateID: tpl, Instance: d, Period: 1,
+			},
+			Root: root,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	for d := int64(0); d < 3; d++ {
+		if d > 0 {
+			deliver(cat, d)
+		}
+		svc.BeginInstance(d)
+		fmt.Printf("--- day %d ---\n", d)
+		for _, job := range []struct{ tpl, src string }{
+			{"leaderboard", reportScript},
+			{"alerts", alertScript},
+		} {
+			r := submit(job.tpl, job.src, d)
+			action := "recomputed"
+			if len(r.Decision.ViewsBuilt) > 0 {
+				action = "built shared view"
+			}
+			if len(r.Decision.ViewsUsed) > 0 {
+				action = "reused shared view"
+			}
+			fmt.Printf("  %-12s %-18s CPU %6.0f (baseline %6.0f)\n",
+				job.tpl, action, r.Result.TotalCPU, r.BaselineResult.TotalCPU)
+		}
+		if d == 0 {
+			an := svc.RunAnalyzer(cv.AnalyzerConfig{MinFrequency: 2, TopK: 1})
+			fmt.Printf("  [analyzer] selected the shared %v computation (frequency %d)\n",
+				an.Selected[0].RootOp, an.Selected[0].Frequency)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// TPC-DS with CloudViews: run a family of TPC-DS queries that share a
+// common core (the store_sales ⋈ date_dim ⋈ item join of the classic
+// brand-revenue queries q3/q42/q52/q55) with computation reuse on and off,
+// and compare.
+//
+//	go run ./examples/tpcds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cv "cloudviews"
+)
+
+// The query family: q3, q42, q52, q55 share one core; q7, q19, q98 bring
+// adjacent shapes into the mix so the analyzer has real choices.
+var queryIDs = []int{3, 42, 52, 55, 7, 19, 98}
+
+func main() {
+	log.SetFlags(0)
+
+	cat := cv.GenerateTPCDS(1.0, 42)
+	builder := &cv.TPCDSBuilder{Cat: cat}
+
+	meta := func(q cv.TPCDSQuery, suffix string) cv.JobMeta {
+		return cv.JobMeta{
+			JobID: q.Name + suffix, VC: "tpcds", User: "analyst",
+			TemplateID: q.Name, Period: 1,
+		}
+	}
+
+	// Baseline pass: CloudViews off. This also builds the history the
+	// analyzer mines — exactly how the paper ran its TPC-DS evaluation.
+	baseSvc := cv.NewService(cat, cv.Config{Enabled: false})
+	baseline := map[int]float64{}
+	for _, id := range queryIDs {
+		q := builder.Query(id)
+		r, err := baseSvc.Submit(cv.JobSpec{Meta: meta(q, ""), Root: q.Root})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline[id] = r.Result.Latency
+	}
+
+	// Analyze the baseline history and load annotations into a fresh
+	// CloudViews-enabled service over the same catalog.
+	cvSvc := cv.NewService(cat, cv.Config{Enabled: true, ValidateResults: true})
+	analysis := analyze(baseSvc)
+	cvSvc.Meta.LoadAnalysis(analysis.Annotations)
+	fmt.Printf("analyzer selected %d overlapping computation(s) from %d candidates\n\n",
+		len(analysis.Selected), len(analysis.Candidates))
+
+	fmt.Printf("%-6s %12s %12s %10s\n", "query", "baseline", "cloudviews", "change")
+	var sumB, sumC float64
+	for _, id := range queryIDs {
+		q := builder.Query(id)
+		r, err := cvSvc.Submit(cv.JobSpec{Meta: meta(q, "-cv"), Root: q.Root})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, c := baseline[id], r.Result.Latency
+		sumB += b
+		sumC += c
+		note := ""
+		if len(r.Decision.ViewsBuilt) > 0 {
+			note = " (built view)"
+		} else if len(r.Decision.ViewsUsed) > 0 {
+			note = " (reused view)"
+		}
+		fmt.Printf("q%-5d %12.1f %12.1f %+9.1f%%%s\n", id, b, c, (1-c/b)*100, note)
+	}
+	fmt.Printf("\ntotal runtime improvement: %.1f%%\n", (1-sumC/sumB)*100)
+}
+
+// analyze runs the CloudViews analyzer over the baseline service's
+// workload repository.
+func analyze(baseSvc *cv.Service) *cv.Analysis {
+	return baseSvc.RunAnalyzer(cv.AnalyzerConfig{
+		MinFrequency: 3,
+		TopK:         2,
+	})
+}

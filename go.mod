@@ -1,0 +1,3 @@
+module cloudviews
+
+go 1.24

@@ -1,0 +1,459 @@
+// Package analyzer implements the CloudViews analyzer of paper §5: it
+// mines the workload repository for overlapping computations, selects the
+// views to materialize under pluggable heuristics and constraints, elects
+// each view's physical design, derives its expiry from input lineage, and
+// emits the annotations the metadata service serves to future jobs — plus
+// the job-coordination submission order of §6.5.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudviews/internal/exec"
+	"cloudviews/internal/metadata"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/workload"
+)
+
+// Strategy selects among the view-selection methods of §5.2.
+type Strategy int
+
+// Selection strategies.
+const (
+	// TopKUtility picks the k candidates with the highest total utility
+	// (frequency × average runtime saved).
+	TopKUtility Strategy = iota
+	// TopKUtilityPerByte normalizes utility by storage cost.
+	TopKUtilityPerByte
+	// PackStorageBudget greedily packs candidates by utility density
+	// under a total storage budget (the practical stand-in for the
+	// companion subexpression-packing work).
+	PackStorageBudget
+	// PackStorageBudgetOptimal solves the same packing problem exactly
+	// with branch-and-bound — total utility is maximized, never below the
+	// greedy solution.
+	PackStorageBudgetOptimal
+)
+
+// Config tunes one analyzer run — the §5.5 admin knobs.
+type Config struct {
+	// WindowFrom/WindowTo restrict analysis to recurring instances in the
+	// inclusive range. Zero values with WindowTo==0 mean "everything".
+	WindowFrom, WindowTo int64
+	// Clusters/BusinessUnits/VCs filter the workload; empty means all.
+	Clusters      []string
+	BusinessUnits []string
+	VCs           []string
+	// MinFrequency is the minimum occurrence count (paper's production
+	// run used "appearing at least thrice").
+	MinFrequency int
+	// MinCostRatio prunes candidates whose subgraph cost is below this
+	// fraction of their job's cost ("at least 20% of the overall job
+	// cost" in §7.1).
+	MinCostRatio float64
+	// MinRuntime prunes trivially cheap subgraphs (26% of overlaps run
+	// ≤1s, §2.4).
+	MinRuntime float64
+	// MaxPerJob, when 1, keeps at most one candidate per job (§7.1).
+	MaxPerJob int
+	// TopK bounds the number of selected views (0 = unlimited).
+	TopK int
+	// Strategy picks the selection method.
+	Strategy Strategy
+	// StorageBudget bounds total view bytes for PackStorageBudget.
+	StorageBudget int64
+	// UseEstimates replaces measured runtime statistics with the naive
+	// compile-time estimate for utility (the feedback-loop ablation). The
+	// estimate function must be supplied via EstimateCost.
+	UseEstimates bool
+	// EstimateCost maps an observation to an estimated cost when
+	// UseEstimates is set.
+	EstimateCost func(o workload.Observation) float64
+}
+
+// Candidate is one overlapping computation with its mined statistics.
+type Candidate struct {
+	NormSig string
+	// Frequency is the number of occurrences in the window; JobCount the
+	// number of distinct jobs; UserCount distinct users.
+	Frequency int
+	JobCount  int
+	UserCount int
+	// Measured averages from the feedback loop.
+	AvgCost    float64 // average cumulative subgraph cost
+	AvgLatency float64
+	AvgRows    float64
+	AvgBytes   float64
+	// CostRatio is the average view-to-query cost ratio (Figure 5d).
+	CostRatio float64
+	// ReadCost is the measured cost of scanning the materialized view
+	// (from its observed output size).
+	ReadCost float64
+	// Utility is the estimated total *net* saving:
+	// (Frequency-1) × max(0, AvgCost − ReadCost) — every occurrence after
+	// the first reads the view instead of recomputing, and reading is not
+	// free. Ranking by net saving is what keeps scan-shaped subgraphs
+	// (output ≈ input) from crowding out expensive reductions.
+	Utility float64
+	// Props is the elected physical design; MultiDesign reports that the
+	// occurrences disagreed on the design (§5.3).
+	Props       plan.PhysicalProps
+	MultiDesign bool
+	// ExpiryDelta is the lifetime in instance units from input lineage.
+	ExpiryDelta int64
+	// Tags are the inverted-index keys (inputs and template IDs).
+	Tags []string
+	// RootOp is the operator at the subgraph root (Figure 4a).
+	RootOp plan.OpKind
+	// Jobs lists distinct job IDs containing the computation.
+	Jobs []string
+	// Inputs lists the logical inputs the computation reads.
+	Inputs []string
+	// AvgRuntime is the mined average latency, used for build-lock TTLs.
+	AvgRuntime float64
+}
+
+// Analysis is one analyzer run's full output.
+type Analysis struct {
+	// Window actually analyzed.
+	WindowFrom, WindowTo int64
+	// TotalJobs and TotalSubgraphs describe the analyzed workload.
+	TotalJobs      int
+	TotalSubgraphs int
+	// Candidates are all overlapping computations (frequency ≥ 2),
+	// before selection filters.
+	Candidates []Candidate
+	// Selected are the computations chosen to materialize.
+	Selected []Candidate
+	// Annotations is Selected rendered for the metadata service.
+	Annotations []metadata.Annotation
+	// JobOrder is the §6.5 coordination hint: submit these jobs first, in
+	// order, so views are built once and reused by everyone else.
+	JobOrder []string
+}
+
+// Analyzer mines a workload repository.
+type Analyzer struct {
+	Repo *workload.Repository
+}
+
+// New returns an analyzer over the repository.
+func New(repo *workload.Repository) *Analyzer {
+	return &Analyzer{Repo: repo}
+}
+
+// Analyze runs the full pipeline: enumerate → aggregate → filter → select
+// → annotate → order.
+func (a *Analyzer) Analyze(cfg Config) *Analysis {
+	from, to := cfg.WindowFrom, cfg.WindowTo
+	if to == 0 {
+		to = 1<<62 - 1
+	}
+	obs := a.Repo.Window(from, to)
+	obs = filterScope(obs, cfg)
+
+	an := &Analysis{WindowFrom: from, WindowTo: to, TotalSubgraphs: len(obs)}
+	jobs := map[string]bool{}
+	for _, o := range obs {
+		jobs[o.Job.JobID] = true
+	}
+	an.TotalJobs = len(jobs)
+
+	periods := a.Repo.InputPeriods()
+	an.Candidates = aggregate(obs, periods, cfg)
+	selected := selectViews(an.Candidates, cfg)
+	an.Selected = selected
+	an.Annotations = annotate(selected)
+	an.JobOrder = coordinate(selected, obs)
+	return an
+}
+
+func filterScope(obs []workload.Observation, cfg Config) []workload.Observation {
+	match := func(v string, allow []string) bool {
+		if len(allow) == 0 {
+			return true
+		}
+		for _, a := range allow {
+			if a == v {
+				return true
+			}
+		}
+		return false
+	}
+	var out []workload.Observation
+	for _, o := range obs {
+		if match(o.Job.Cluster, cfg.Clusters) &&
+			match(o.Job.BusinessUnit, cfg.BusinessUnits) &&
+			match(o.Job.VC, cfg.VCs) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// aggregate groups observations by normalized signature and computes the
+// per-candidate statistics.
+func aggregate(obs []workload.Observation, periods map[string]int64, cfg Config) []Candidate {
+	groups := map[string][]workload.Observation{}
+	for _, o := range obs {
+		groups[o.NormSig] = append(groups[o.NormSig], o)
+	}
+	var out []Candidate
+	for sig, g := range groups {
+		if len(g) < 2 {
+			continue // not an overlap
+		}
+		c := Candidate{NormSig: sig, Frequency: len(g), RootOp: g[0].RootOp}
+		jobSet := map[string]bool{}
+		userSet := map[string]bool{}
+		inputSet := map[string]bool{}
+		tagSet := map[string]bool{}
+		var cost, lat, rows, bytes, ratio float64
+		for _, o := range g {
+			jobSet[o.Job.JobID] = true
+			userSet[o.Job.User] = true
+			for _, in := range o.Inputs {
+				inputSet[in] = true
+				tagSet[in] = true
+			}
+			tagSet[o.Job.TemplateID] = true
+			oc := o.CumulativeCost
+			if cfg.UseEstimates && cfg.EstimateCost != nil {
+				oc = cfg.EstimateCost(o)
+			}
+			cost += oc
+			lat += o.Latency
+			rows += float64(o.Rows)
+			bytes += float64(o.Bytes)
+			if o.JobCPU > 0 {
+				ratio += oc / o.JobCPU
+			}
+		}
+		n := float64(len(g))
+		c.AvgCost = cost / n
+		c.AvgLatency = lat / n
+		c.AvgRuntime = c.AvgLatency
+		c.AvgRows = rows / n
+		c.AvgBytes = bytes / n
+		c.CostRatio = ratio / n
+		c.ReadCost = exec.OperatorCost(plan.OpViewScan, 0, int64(c.AvgRows), int64(c.AvgBytes))
+		saving := c.AvgCost - c.ReadCost
+		if saving < 0 {
+			saving = 0
+		}
+		c.Utility = float64(c.Frequency-1) * saving
+		c.JobCount = len(jobSet)
+		c.UserCount = len(userSet)
+		c.Jobs = sortedKeys(jobSet)
+		c.Inputs = sortedKeys(inputSet)
+		c.Tags = sortedKeys(tagSet)
+		c.Props, c.MultiDesign = electDesign(g)
+		c.ExpiryDelta = expiryFromLineage(c.Inputs, periods)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utility != out[j].Utility {
+			return out[i].Utility > out[j].Utility
+		}
+		return out[i].NormSig < out[j].NormSig
+	})
+	return out
+}
+
+// electDesign picks the most popular output physical design among the
+// occurrences (§5.3). It reports whether multiple designs were in play.
+func electDesign(g []workload.Observation) (plan.PhysicalProps, bool) {
+	type bucket struct {
+		props plan.PhysicalProps
+		count int
+	}
+	counts := map[string]*bucket{}
+	for _, o := range g {
+		key := designKey(o.Props)
+		if b, ok := counts[key]; ok {
+			b.count++
+		} else {
+			counts[key] = &bucket{props: o.Props, count: 1}
+		}
+	}
+	var best *bucket
+	var bestKey string
+	for k, b := range counts {
+		if best == nil || b.count > best.count || (b.count == best.count && k < bestKey) {
+			best, bestKey = b, k
+		}
+	}
+	return best.props, len(counts) > 1
+}
+
+func designKey(p plan.PhysicalProps) string {
+	return fmt.Sprintf("%v|%v|%d|%v|%v", p.Part.Kind, p.Part.Cols, p.Part.Count, p.Sort.Cols, p.Sort.Desc)
+}
+
+// expiryFromLineage returns the view lifetime: the longest recurrence
+// period of any template consuming any of the view's inputs, plus one
+// instance of slack (§5.4).
+func expiryFromLineage(inputs []string, periods map[string]int64) int64 {
+	var maxP int64 = 1
+	for _, in := range inputs {
+		if p := periods[in]; p > maxP {
+			maxP = p
+		}
+	}
+	return maxP + 1
+}
+
+// selectViews applies the admin filters and the selection strategy.
+func selectViews(cands []Candidate, cfg Config) []Candidate {
+	var pool []Candidate
+	for _, c := range cands {
+		if cfg.MinFrequency > 0 && c.Frequency < cfg.MinFrequency {
+			continue
+		}
+		if c.CostRatio < cfg.MinCostRatio {
+			continue
+		}
+		if c.AvgLatency < cfg.MinRuntime {
+			continue
+		}
+		// Materializing a bare scan or an output sink never saves work.
+		if c.RootOp == plan.OpExtract || c.RootOp == plan.OpOutput {
+			continue
+		}
+		pool = append(pool, c)
+	}
+
+	switch cfg.Strategy {
+	case TopKUtilityPerByte, PackStorageBudget:
+		sort.Slice(pool, func(i, j int) bool {
+			di, dj := density(pool[i]), density(pool[j])
+			if di != dj {
+				return di > dj
+			}
+			return pool[i].NormSig < pool[j].NormSig
+		})
+	case PackStorageBudgetOptimal:
+		pool = packOptimal(pool, cfg.StorageBudget)
+	default:
+		// already utility-sorted by aggregate
+	}
+
+	var out []Candidate
+	usedJobs := map[string]bool{}
+	var usedBytes int64
+	for _, c := range pool {
+		if cfg.TopK > 0 && len(out) >= cfg.TopK {
+			break
+		}
+		if cfg.MaxPerJob == 1 && anyUsed(c.Jobs, usedJobs) {
+			continue
+		}
+		if cfg.Strategy == PackStorageBudget && cfg.StorageBudget > 0 &&
+			usedBytes+int64(c.AvgBytes) > cfg.StorageBudget {
+			continue
+		}
+		out = append(out, c)
+		usedBytes += int64(c.AvgBytes)
+		for _, j := range c.Jobs {
+			usedJobs[j] = true
+		}
+	}
+	return out
+}
+
+func density(c Candidate) float64 {
+	if c.AvgBytes <= 0 {
+		return c.Utility
+	}
+	return c.Utility / c.AvgBytes
+}
+
+func anyUsed(jobs []string, used map[string]bool) bool {
+	for _, j := range jobs {
+		if used[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// annotate renders selected candidates as metadata-service annotations.
+func annotate(selected []Candidate) []metadata.Annotation {
+	out := make([]metadata.Annotation, len(selected))
+	for i, c := range selected {
+		out[i] = metadata.Annotation{
+			NormSig:      c.NormSig,
+			Tags:         c.Tags,
+			Props:        c.Props,
+			AvgRuntime:   c.AvgRuntime,
+			ExpiryDelta:  c.ExpiryDelta,
+			Utility:      c.Utility,
+			StorageBytes: int64(c.AvgBytes),
+			Frequency:    c.Frequency,
+		}
+	}
+	return out
+}
+
+// coordinate produces the job submission order of §6.5: per selected view,
+// jobs containing it form a group; the group's builder is its shortest job
+// (ties broken by fewer overlaps, then ID). Deduplicated builders run
+// first — ordered by runtime, ties by overlap count — so each view is
+// built exactly once before its consumers arrive.
+func coordinate(selected []Candidate, obs []workload.Observation) []string {
+	if len(selected) == 0 {
+		return nil
+	}
+	jobRuntime := map[string]float64{}
+	jobOverlaps := map[string]int{}
+	selectedSigs := map[string]bool{}
+	for _, c := range selected {
+		selectedSigs[c.NormSig] = true
+	}
+	for _, o := range obs {
+		if o.JobLatency > jobRuntime[o.Job.JobID] {
+			jobRuntime[o.Job.JobID] = o.JobLatency
+		}
+		if selectedSigs[o.NormSig] {
+			jobOverlaps[o.Job.JobID]++
+		}
+	}
+	builderSet := map[string]bool{}
+	for _, c := range selected {
+		best := ""
+		for _, j := range c.Jobs {
+			if best == "" || less(j, best, jobRuntime, jobOverlaps) {
+				best = j
+			}
+		}
+		if best != "" {
+			builderSet[best] = true
+		}
+	}
+	builders := sortedKeys(builderSet)
+	sort.Slice(builders, func(i, j int) bool {
+		return less(builders[i], builders[j], jobRuntime, jobOverlaps)
+	})
+	return builders
+}
+
+// less orders jobs by runtime, then by overlap count, then by ID.
+func less(a, b string, runtime map[string]float64, overlaps map[string]int) bool {
+	if runtime[a] != runtime[b] {
+		return runtime[a] < runtime[b]
+	}
+	if overlaps[a] != overlaps[b] {
+		return overlaps[a] < overlaps[b]
+	}
+	return a < b
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package analyzer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkCand(id int, utility float64, bytes float64) Candidate {
+	return Candidate{NormSig: fmt.Sprintf("sig%02d", id), Utility: utility, AvgBytes: bytes}
+}
+
+func totalUtil(cs []Candidate) float64 {
+	var u float64
+	for _, c := range cs {
+		u += c.Utility
+	}
+	return u
+}
+
+func totalBytes(cs []Candidate) int64 {
+	var b int64
+	for _, c := range cs {
+		b += int64(c.AvgBytes)
+	}
+	return b
+}
+
+// greedyPack mirrors the PackStorageBudget strategy for comparison.
+func greedyPack(pool []Candidate, budget int64) []Candidate {
+	sorted := append([]Candidate(nil), pool...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && density(sorted[j]) > density(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out []Candidate
+	var used int64
+	for _, c := range sorted {
+		if used+int64(c.AvgBytes) <= budget {
+			out = append(out, c)
+			used += int64(c.AvgBytes)
+		}
+	}
+	return out
+}
+
+func TestPackOptimalBeatsGreedyOnClassicInstance(t *testing.T) {
+	// Classic knapsack trap: greedy-by-density takes the small dense item
+	// and wastes capacity; optimal takes the two big ones.
+	pool := []Candidate{
+		mkCand(1, 60, 10),  // density 6
+		mkCand(2, 100, 20), // density 5
+		mkCand(3, 120, 30), // density 4
+	}
+	budget := int64(50)
+	opt := packOptimal(pool, budget)
+	greedy := greedyPack(pool, budget)
+	if totalUtil(opt) != 220 { // items 2 + 3
+		t.Errorf("optimal utility = %v, want 220 (%v)", totalUtil(opt), opt)
+	}
+	if totalUtil(greedy) >= totalUtil(opt) {
+		t.Errorf("instance does not separate greedy (%v) from optimal (%v)",
+			totalUtil(greedy), totalUtil(opt))
+	}
+	if totalBytes(opt) > budget {
+		t.Error("optimal exceeded budget")
+	}
+}
+
+func TestPackOptimalEdgeCases(t *testing.T) {
+	if got := packOptimal(nil, 100); got != nil {
+		t.Error("empty pool should pack nothing")
+	}
+	if got := packOptimal([]Candidate{mkCand(1, 5, 10)}, 0); got != nil {
+		t.Error("zero budget should pack nothing")
+	}
+	// Oversized single item skipped.
+	if got := packOptimal([]Candidate{mkCand(1, 5, 1000)}, 10); len(got) != 0 {
+		t.Error("oversized item selected")
+	}
+	// Zero-byte candidates are free utility.
+	got := packOptimal([]Candidate{mkCand(1, 5, 0), mkCand(2, 7, 0)}, 1)
+	if totalUtil(got) != 12 {
+		t.Errorf("free items util = %v", totalUtil(got))
+	}
+}
+
+// exhaustive computes the true optimum for small pools.
+func exhaustive(pool []Candidate, budget int64) float64 {
+	best := 0.0
+	n := len(pool)
+	for mask := 0; mask < 1<<n; mask++ {
+		var util float64
+		var bytes int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				util += pool[i].Utility
+				bytes += int64(pool[i].AvgBytes)
+			}
+		}
+		if bytes <= budget && util > best {
+			best = util
+		}
+	}
+	return best
+}
+
+func TestPackOptimalMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		pool := make([]Candidate, n)
+		for i := range pool {
+			pool[i] = mkCand(i, float64(1+r.Intn(100)), float64(1+r.Intn(50)))
+		}
+		budget := int64(10 + r.Intn(200))
+		opt := packOptimal(pool, budget)
+		if totalBytes(opt) > budget {
+			return false
+		}
+		return totalUtil(opt) == exhaustive(pool, budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackOptimalNeverBelowGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		pool := make([]Candidate, n)
+		for i := range pool {
+			pool[i] = mkCand(i, float64(1+r.Intn(1000)), float64(1+r.Intn(100)))
+		}
+		budget := int64(20 + r.Intn(500))
+		return totalUtil(packOptimal(pool, budget)) >= totalUtil(greedyPack(pool, budget))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalStrategyEndToEnd(t *testing.T) {
+	f := buildFixture(t)
+	a := New(f.repo)
+	// Budget below the full footprint forces a real packing decision.
+	full := a.Analyze(Config{MinFrequency: 2})
+	var bytes int64
+	for _, c := range full.Selected {
+		bytes += int64(c.AvgBytes)
+	}
+	budget := bytes * 2 / 3
+	greedy := a.Analyze(Config{MinFrequency: 2, Strategy: PackStorageBudget, StorageBudget: budget})
+	optimal := a.Analyze(Config{MinFrequency: 2, Strategy: PackStorageBudgetOptimal, StorageBudget: budget})
+	gu, ou := 0.0, 0.0
+	var ob int64
+	for _, c := range greedy.Selected {
+		gu += c.Utility
+	}
+	for _, c := range optimal.Selected {
+		ou += c.Utility
+		ob += int64(c.AvgBytes)
+	}
+	if ob > budget {
+		t.Errorf("optimal selection exceeds budget: %d > %d", ob, budget)
+	}
+	if ou < gu {
+		t.Errorf("optimal utility %.0f below greedy %.0f", ou, gu)
+	}
+}

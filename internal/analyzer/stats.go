@@ -1,0 +1,212 @@
+package analyzer
+
+import (
+	"sort"
+
+	"cloudviews/internal/plan"
+	"cloudviews/internal/workload"
+)
+
+// OverlapStats quantifies the computation-overlap in a workload — the raw
+// material of the paper's Figures 1–5. An occurrence is "overlapping" when
+// its normalized signature appears at least twice in the analyzed window;
+// a job/user "has overlap" when it shares a subgraph with another job.
+type OverlapStats struct {
+	TotalJobs        int
+	TotalUsers       int
+	TotalOccurrences int
+
+	// Figure 1 style aggregates.
+	PctJobsOverlapping      float64
+	PctUsersOverlapping     float64
+	PctSubgraphsOverlapping float64
+
+	// Figure 2: per-VC view.
+	VCJobOverlapPct map[string]float64
+	VCAvgFrequency  map[string]float64
+	VCNames         []string // sorted
+	// Figure 3: overlap counts per entity (inputs to CDFs).
+	OverlapsPerJob   []float64
+	OverlapsPerInput []float64
+	OverlapsPerUser  []float64
+	OverlapsPerVC    []float64
+
+	// Figure 4: operator breakdown of overlapping occurrences, and the
+	// per-operator frequency samples behind Figures 4(b)–(d).
+	OperatorPct         map[plan.OpKind]float64
+	OperatorFrequencies map[plan.OpKind][]float64
+
+	// Figure 5: per-overlapping-signature distributions.
+	Frequencies  []float64 // occurrence count per signature
+	Runtimes     []float64 // average latency per signature
+	SizesBytes   []float64 // average output bytes per signature
+	CostRatios   []float64 // average view-to-query cost ratio per signature
+	AvgFrequency float64
+}
+
+// ComputeOverlapStats derives the overlap statistics of a set of subgraph
+// observations.
+func ComputeOverlapStats(obs []workload.Observation) *OverlapStats {
+	st := &OverlapStats{
+		VCJobOverlapPct:     map[string]float64{},
+		VCAvgFrequency:      map[string]float64{},
+		OperatorPct:         map[plan.OpKind]float64{},
+		OperatorFrequencies: map[plan.OpKind][]float64{},
+	}
+	if len(obs) == 0 {
+		return st
+	}
+
+	bySig := map[string][]workload.Observation{}
+	sigJobs := map[string]map[string]bool{}
+	for _, o := range obs {
+		bySig[o.NormSig] = append(bySig[o.NormSig], o)
+		if sigJobs[o.NormSig] == nil {
+			sigJobs[o.NormSig] = map[string]bool{}
+		}
+		sigJobs[o.NormSig][o.Job.JobID] = true
+	}
+	crossJob := func(sig string) bool { return len(sigJobs[sig]) >= 2 }
+	overlapping := func(sig string) bool { return len(bySig[sig]) >= 2 }
+
+	jobs := map[string]bool{}
+	users := map[string]bool{}
+	jobsOverlapping := map[string]bool{}
+	usersOverlapping := map[string]bool{}
+	vcJobs := map[string]map[string]bool{}
+	vcJobsOverlap := map[string]map[string]bool{}
+	vcFreqSamples := map[string][]float64{}
+	perJob := map[string]float64{}
+	perInput := map[string]float64{}
+	perUser := map[string]float64{}
+	perVC := map[string]float64{}
+	overlapOccurrences := 0
+
+	for _, o := range obs {
+		jobs[o.Job.JobID] = true
+		users[o.Job.User] = true
+		if vcJobs[o.Job.VC] == nil {
+			vcJobs[o.Job.VC] = map[string]bool{}
+			vcJobsOverlap[o.Job.VC] = map[string]bool{}
+		}
+		vcJobs[o.Job.VC][o.Job.JobID] = true
+
+		if overlapping(o.NormSig) {
+			overlapOccurrences++
+			perJob[o.Job.JobID]++
+			perUser[o.Job.User]++
+			perVC[o.Job.VC]++
+			for _, in := range o.Inputs {
+				perInput[in]++
+			}
+		}
+		if crossJob(o.NormSig) {
+			jobsOverlapping[o.Job.JobID] = true
+			usersOverlapping[o.Job.User] = true
+			vcJobsOverlap[o.Job.VC][o.Job.JobID] = true
+		}
+	}
+
+	st.TotalJobs = len(jobs)
+	st.TotalUsers = len(users)
+	st.TotalOccurrences = len(obs)
+	st.PctJobsOverlapping = pct(len(jobsOverlapping), len(jobs))
+	st.PctUsersOverlapping = pct(len(usersOverlapping), len(users))
+	st.PctSubgraphsOverlapping = pct(overlapOccurrences, len(obs))
+
+	// Per-signature distributions (Figure 5), operator breakdown over
+	// *distinct* overlapping computations (Figure 4a's "percentage of
+	// subgraphs"), and within-VC frequency samples for Figure 2b.
+	var freqSum float64
+	distinctOverlaps := 0
+	for _, g := range bySig {
+		if len(g) < 2 {
+			continue
+		}
+		distinctOverlaps++
+		f := float64(len(g))
+		st.Frequencies = append(st.Frequencies, f)
+		freqSum += f
+		var lat, bytes, ratio float64
+		vcCounts := map[string]float64{}
+		for _, o := range g {
+			lat += o.Latency
+			bytes += float64(o.Bytes)
+			if o.JobCPU > 0 {
+				ratio += o.CumulativeCost / o.JobCPU
+			}
+			vcCounts[o.Job.VC]++
+		}
+		n := float64(len(g))
+		st.Runtimes = append(st.Runtimes, lat/n)
+		st.SizesBytes = append(st.SizesBytes, bytes/n)
+		st.CostRatios = append(st.CostRatios, ratio/n)
+		st.OperatorPct[g[0].RootOp]++
+		st.OperatorFrequencies[g[0].RootOp] = append(st.OperatorFrequencies[g[0].RootOp], f)
+		// Figure 2b samples the computation's frequency *within* each VC
+		// it occurs in.
+		for vc, c := range vcCounts {
+			vcFreqSamples[vc] = append(vcFreqSamples[vc], c)
+		}
+	}
+	if len(st.Frequencies) > 0 {
+		st.AvgFrequency = freqSum / float64(len(st.Frequencies))
+	}
+
+	// Normalize operator breakdown to percentages.
+	if distinctOverlaps > 0 {
+		for op, c := range st.OperatorPct {
+			st.OperatorPct[op] = c / float64(distinctOverlaps) * 100
+		}
+	}
+
+	// Per-VC aggregates (Figure 2).
+	for vc, jset := range vcJobs {
+		st.VCNames = append(st.VCNames, vc)
+		st.VCJobOverlapPct[vc] = pct(len(vcJobsOverlap[vc]), len(jset))
+		if samples := vcFreqSamples[vc]; len(samples) > 0 {
+			var s float64
+			for _, x := range samples {
+				s += x
+			}
+			st.VCAvgFrequency[vc] = s / float64(len(samples))
+		}
+	}
+	sort.Strings(st.VCNames)
+
+	st.OverlapsPerJob = values(perJob)
+	st.OverlapsPerInput = values(perInput)
+	st.OverlapsPerUser = values(perUser)
+	st.OverlapsPerVC = values(perVC)
+	return st
+}
+
+// OverlapStats computes the statistics for the configured window/scope.
+func (a *Analyzer) OverlapStats(cfg Config) *OverlapStats {
+	to := cfg.WindowTo
+	if to == 0 {
+		to = 1<<62 - 1
+	}
+	obs := filterScope(a.Repo.Window(cfg.WindowFrom, to), cfg)
+	return ComputeOverlapStats(obs)
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total) * 100
+}
+
+func values(m map[string]float64) []float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cloudviews/internal/analyzer"
+	"cloudviews/internal/core"
+	"cloudviews/internal/report"
+	"cloudviews/internal/tpcds"
+	"cloudviews/internal/workload"
+)
+
+// TPCDSQueryResult is one query's baseline-vs-CloudViews runtime (one bar
+// of Figure 13).
+type TPCDSQueryResult struct {
+	ID         int
+	Baseline   float64
+	CloudViews float64
+	UsedViews  int
+	BuiltViews int
+}
+
+// ImprovementPct returns the percentage runtime improvement.
+func (q TPCDSQueryResult) ImprovementPct() float64 {
+	return (1 - q.CloudViews/q.Baseline) * 100
+}
+
+// TPCDSResult is the §7.2 experiment.
+type TPCDSResult struct {
+	Queries []TPCDSQueryResult
+	// Paper aggregates: 79/99 improved, avg ≈12.5%, total ≈17%.
+	Improved            int
+	AvgImprovementPct   float64
+	TotalImprovementPct float64
+	PeakImprovementPct  float64
+	PeakSlowdownPct     float64
+	ViewsSelected       int
+}
+
+// TPCDSConfig parameterizes the experiment.
+type TPCDSConfig struct {
+	Scale    float64
+	Seed     int64
+	TopViews int // the paper's conservative top-10
+}
+
+// DefaultTPCDSConfig mirrors the paper: all 99 queries, top-10 views.
+func DefaultTPCDSConfig() TPCDSConfig {
+	return TPCDSConfig{Scale: 1.0, Seed: 42, TopViews: 10}
+}
+
+// RunTPCDS executes the §7.2 experiment:
+//
+//  1. run all 99 queries without CloudViews (this pass doubles as the
+//     analysis input, exactly as in the paper),
+//  2. run the analyzer and select the top-K overlapping computations,
+//  3. rerun the workload with CloudViews on, using the job-coordination
+//     hints to submit one builder per view first (§6.5),
+//  4. report per-query runtimes.
+func RunTPCDS(cfg TPCDSConfig) (*TPCDSResult, error) {
+	cat := tpcds.Generate(cfg.Scale, cfg.Seed)
+	builder := &tpcds.Builder{Cat: cat}
+	queries := builder.Queries()
+
+	meta := func(q tpcds.Query) workload.JobMeta {
+		return workload.JobMeta{
+			JobID: q.Name, Cluster: "tpcds", BusinessUnit: "tpcds",
+			VC: "tpcds_vc", User: "bench", TemplateID: q.Name, Period: 1,
+		}
+	}
+
+	// Pass 1: baseline (also the analysis history).
+	base := core.NewService(cat, core.Config{Enabled: false})
+	baseline := map[int]float64{}
+	for _, q := range queries {
+		r, err := base.Submit(core.JobSpec{Meta: meta(q), Root: q.Root})
+		if err != nil {
+			return nil, fmt.Errorf("bench: baseline %s: %w", q.Name, err)
+		}
+		baseline[q.ID] = r.Result.Latency
+	}
+
+	// Pass 2: analyze. TPC-DS is not recurring, so candidate filters stay
+	// permissive; the conservative part is the top-K cut.
+	an := analyzer.New(base.Repo).Analyze(analyzer.Config{
+		MinFrequency: 3,
+		MinCostRatio: 0.05,
+		TopK:         cfg.TopViews,
+	})
+	if len(an.Selected) == 0 {
+		return nil, fmt.Errorf("bench: no overlapping computations selected")
+	}
+
+	// Pass 3: CloudViews run with coordinated submission order: the
+	// analyzer's builder jobs first, then everything else in query order.
+	cv := core.NewService(cat, core.Config{Enabled: true, MaxViewsPerJob: 1})
+	cv.Meta.LoadAnalysis(an.Annotations)
+	order := coordinateOrder(queries, an.JobOrder)
+	results := map[int]TPCDSQueryResult{}
+	for _, q := range order {
+		r, err := cv.Submit(core.JobSpec{Meta: meta(q), Root: q.Root})
+		if err != nil {
+			return nil, fmt.Errorf("bench: cloudviews %s: %w", q.Name, err)
+		}
+		results[q.ID] = TPCDSQueryResult{
+			ID:         q.ID,
+			Baseline:   baseline[q.ID],
+			CloudViews: r.Result.Latency,
+			UsedViews:  len(r.Decision.ViewsUsed),
+			BuiltViews: len(r.Decision.ViewsBuilt),
+		}
+	}
+
+	res := &TPCDSResult{ViewsSelected: len(an.Selected)}
+	var sumBase, sumCV, sumImp float64
+	for id := 1; id <= 99; id++ {
+		q := results[id]
+		res.Queries = append(res.Queries, q)
+		imp := q.ImprovementPct()
+		if imp > 0 {
+			res.Improved++
+		}
+		if imp > res.PeakImprovementPct {
+			res.PeakImprovementPct = imp
+		}
+		if imp < res.PeakSlowdownPct {
+			res.PeakSlowdownPct = imp
+		}
+		sumBase += q.Baseline
+		sumCV += q.CloudViews
+		sumImp += imp
+	}
+	res.AvgImprovementPct = sumImp / float64(len(res.Queries))
+	res.TotalImprovementPct = (1 - sumCV/sumBase) * 100
+	return res, nil
+}
+
+// coordinateOrder returns the queries with the analyzer-designated
+// builders first (in hint order), then the rest by ID.
+func coordinateOrder(queries []tpcds.Query, builderIDs []string) []tpcds.Query {
+	isBuilder := map[string]int{}
+	for i, id := range builderIDs {
+		isBuilder[id] = i + 1
+	}
+	out := append([]tpcds.Query(nil), queries...)
+	sort.SliceStable(out, func(i, j int) bool {
+		bi, bj := isBuilder[out[i].Name], isBuilder[out[j].Name]
+		switch {
+		case bi != 0 && bj != 0:
+			return bi < bj
+		case bi != 0:
+			return true
+		case bj != 0:
+			return false
+		default:
+			return out[i].ID < out[j].ID
+		}
+	})
+	return out
+}
+
+// WriteTPCDS renders the Figure 13 series and aggregates.
+func WriteTPCDS(w io.Writer, r *TPCDSResult) {
+	t := &report.Table{Header: []string{"query", "baseline", "cloudviews", "Δ%", "used", "built"}}
+	for _, q := range r.Queries {
+		t.Add(fmt.Sprintf("q%d", q.ID), q.Baseline, q.CloudViews, q.ImprovementPct(), q.UsedViews, q.BuiltViews)
+	}
+	t.Write(w)
+	fmt.Fprintf(w, "\nFigure 13: %d of %d queries improved; avg %.1f%%, total %.1f%%; peak +%.1f%% / %.1f%%\n",
+		r.Improved, len(r.Queries), r.AvgImprovementPct, r.TotalImprovementPct,
+		r.PeakImprovementPct, r.PeakSlowdownPct)
+	fmt.Fprintf(w, "views selected: %d\n", r.ViewsSelected)
+}

@@ -1,0 +1,84 @@
+// Package catalog tracks the base tables of the simulated cluster: their
+// schemas, their partitioned data, and — critically for recurring jobs —
+// the GUID of the currently delivered data version.
+//
+// Recurring jobs read the "same" logical inputs every instance, but each
+// instance processes freshly delivered data. Delivering a new version gives
+// the table a new GUID, which flows into every precise signature computed
+// over it and thereby invalidates stale materialized views automatically.
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"cloudviews/internal/data"
+)
+
+// Catalog is a concurrent registry of base tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*data.Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*data.Table{}}
+}
+
+// Register adds or replaces a table. The table's Name is the key.
+func (c *Catalog) Register(t *data.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+}
+
+// Get returns the current version of the named table.
+func (c *Catalog) Get(name string) (*data.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// GUID returns the GUID of the current version of the named table, or ""
+// if the table is unknown.
+func (c *Catalog) GUID(name string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.tables[name]; ok {
+		return t.GUID
+	}
+	return ""
+}
+
+// Names returns the registered table names (unordered).
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Deliver installs a new data version for the named table: new GUID, new
+// rows. It models the arrival of the next recurring batch.
+func (c *Catalog) Deliver(name, guid string, fill func(t *data.Table)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	next := data.NewTable(name, guid, old.Schema, len(old.Partitions))
+	if fill != nil {
+		fill(next)
+	}
+	c.tables[name] = next
+	return nil
+}

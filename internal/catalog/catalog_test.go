@@ -1,0 +1,82 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+func schema() data.Schema {
+	return data.Schema{{Name: "k", Kind: data.KindInt}, {Name: "v", Kind: data.KindString}}
+}
+
+func TestRegisterGetGUID(t *testing.T) {
+	c := New()
+	tab := data.NewTable("t", "v1", schema(), 2)
+	c.Register(tab)
+	got, err := c.Get("t")
+	if err != nil || got != tab {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if c.GUID("t") != "v1" {
+		t.Errorf("GUID = %q", c.GUID("t"))
+	}
+	if c.GUID("missing") != "" {
+		t.Error("missing table should have empty GUID")
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Error("Get of missing table should error")
+	}
+	if n := c.Names(); len(n) != 1 || n[0] != "t" {
+		t.Errorf("Names = %v", n)
+	}
+}
+
+func TestDeliverReplacesVersion(t *testing.T) {
+	c := New()
+	c.Register(data.NewTable("t", "v1", schema(), 3))
+	err := c.Deliver("t", "v2", func(tab *data.Table) {
+		rr := 0
+		tab.AppendHash(data.Row{data.Int(1), data.String_("a")}, nil, &rr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get("t")
+	if got.GUID != "v2" {
+		t.Errorf("GUID after deliver = %q", got.GUID)
+	}
+	if got.NumRows() != 1 {
+		t.Errorf("rows after deliver = %d", got.NumRows())
+	}
+	if len(got.Partitions) != 3 {
+		t.Errorf("partition count not preserved: %d", len(got.Partitions))
+	}
+	if err := c.Deliver("missing", "v1", nil); err == nil {
+		t.Error("Deliver to missing table should error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	c.Register(data.NewTable("t", "v0", schema(), 1))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.GUID("t")
+				c.Get("t")
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Deliver("t", "v", nil)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

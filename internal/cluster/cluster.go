@@ -1,0 +1,184 @@
+// Package cluster simulates the job-service cluster fabric: a simulated
+// clock and token-based virtual-cluster admission.
+//
+// A virtual cluster (VC) is a tenant with an allocated compute capacity
+// measured in tokens (paper §2.1 footnote). Jobs demand tokens for their
+// lifetime; when a VC is saturated, newly submitted jobs queue. The
+// scheduler is deliberately simple — capacity accounting over simulated
+// time — because what the experiments need from it is (a) a shared clock
+// for lock expiry and view expiry, and (b) realistic concurrent-arrival
+// semantics for the job-coordination experiments (§6.5).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Clock is a monotonically advancing simulated time in abstract seconds.
+// The zero value starts at time 0 and is ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d int64) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (c *Clock) AdvanceTo(t int64) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// interval is a token reservation over [start, end).
+type interval struct {
+	start, end int64
+	tokens     int
+}
+
+// VC is one virtual cluster: a token capacity plus its reservation ledger.
+type VC struct {
+	Name     string
+	Capacity int
+	resv     []interval
+}
+
+// Scheduler admits jobs to VCs under token capacity over simulated time.
+type Scheduler struct {
+	mu  sync.Mutex
+	vcs map[string]*VC
+}
+
+// NewScheduler returns a scheduler with no VCs.
+func NewScheduler() *Scheduler {
+	return &Scheduler{vcs: map[string]*VC{}}
+}
+
+// AddVC registers a virtual cluster with the given token capacity.
+func (s *Scheduler) AddVC(name string, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vcs[name] = &VC{Name: name, Capacity: capacity}
+}
+
+// VCNames returns the registered VCs, sorted.
+func (s *Scheduler) VCNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.vcs))
+	for n := range s.vcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Admit reserves tokens on the VC for a job of the given duration,
+// submitted at time at. It returns the start time — the earliest instant
+// ≥ at with enough free capacity — or an error for unknown VCs or demands
+// exceeding the VC's total capacity.
+func (s *Scheduler) Admit(vcName string, tokens int, at, duration int64) (start int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vcName]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown VC %q", vcName)
+	}
+	if tokens > vc.Capacity {
+		return 0, fmt.Errorf("cluster: job wants %d tokens, VC %s has %d", tokens, vcName, vc.Capacity)
+	}
+	if tokens < 1 {
+		tokens = 1
+	}
+	if duration < 1 {
+		duration = 1
+	}
+	start = vc.earliestFit(tokens, at, duration)
+	vc.resv = append(vc.resv, interval{start: start, end: start + duration, tokens: tokens})
+	return start, nil
+}
+
+// earliestFit scans candidate start times: the submission time and the end
+// of each existing reservation after it.
+func (vc *VC) earliestFit(tokens int, at, duration int64) int64 {
+	candidates := []int64{at}
+	for _, r := range vc.resv {
+		if r.end > at {
+			candidates = append(candidates, r.end)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, c := range candidates {
+		if vc.fits(tokens, c, c+duration) {
+			return c
+		}
+	}
+	// Unreachable: the last candidate (after every reservation ends) fits.
+	return candidates[len(candidates)-1]
+}
+
+// fits reports whether adding tokens over [start, end) stays within
+// capacity at every reservation boundary.
+func (vc *VC) fits(tokens int, start, end int64) bool {
+	points := []int64{start}
+	for _, r := range vc.resv {
+		if r.start >= start && r.start < end {
+			points = append(points, r.start)
+		}
+	}
+	for _, p := range points {
+		used := 0
+		for _, r := range vc.resv {
+			if r.start <= p && p < r.end {
+				used += r.tokens
+			}
+		}
+		if used+tokens > vc.Capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// Utilization returns the token-seconds reserved on the VC in [from, to).
+func (s *Scheduler) Utilization(vcName string, from, to int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vcName]
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, r := range vc.resv {
+		lo, hi := r.start, r.end
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += (hi - lo) * int64(r.tokens)
+		}
+	}
+	return total
+}

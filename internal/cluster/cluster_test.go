@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Error("clock should start at 0")
+	}
+	c.Advance(5)
+	c.Advance(-3) // ignored
+	if c.Now() != 5 {
+		t.Errorf("now = %d", c.Now())
+	}
+	c.AdvanceTo(3) // past: ignored
+	if c.Now() != 5 {
+		t.Error("AdvanceTo went backwards")
+	}
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Errorf("now = %d", c.Now())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(1)
+				c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 1000 {
+		t.Errorf("now = %d, want 1000", c.Now())
+	}
+}
+
+func TestAdmitImmediateWhenFree(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc1", 10)
+	start, err := s.Admit("vc1", 4, 100, 50)
+	if err != nil || start != 100 {
+		t.Fatalf("start=%d err=%v", start, err)
+	}
+	// Second job fits concurrently (4+4 <= 10).
+	start, err = s.Admit("vc1", 4, 100, 50)
+	if err != nil || start != 100 {
+		t.Fatalf("concurrent start=%d err=%v", start, err)
+	}
+	// Third job (4 tokens) exceeds capacity until one finishes at 150.
+	start, err = s.Admit("vc1", 4, 100, 50)
+	if err != nil || start != 150 {
+		t.Fatalf("queued start=%d err=%v", start, err)
+	}
+}
+
+func TestAdmitErrors(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc1", 2)
+	if _, err := s.Admit("nope", 1, 0, 1); err == nil {
+		t.Error("unknown VC should error")
+	}
+	if _, err := s.Admit("vc1", 5, 0, 1); err == nil {
+		t.Error("oversized demand should error")
+	}
+	// Degenerate demands are clamped, not rejected.
+	if start, err := s.Admit("vc1", 0, 7, 0); err != nil || start != 7 {
+		t.Errorf("clamped admit start=%d err=%v", start, err)
+	}
+}
+
+func TestQueueingCascade(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc1", 1)
+	// Three serial jobs of length 10 on a 1-token VC, all arriving at 0.
+	var starts []int64
+	for i := 0; i < 3; i++ {
+		st, err := s.Admit("vc1", 1, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts = append(starts, st)
+	}
+	want := []int64{0, 10, 20}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Errorf("job %d start = %d, want %d", i, starts[i], want[i])
+		}
+	}
+}
+
+func TestVCIsolation(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("a", 1)
+	s.AddVC("b", 1)
+	if _, err := s.Admit("a", 1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	// VC b is unaffected by a's saturation.
+	start, err := s.Admit("b", 1, 0, 10)
+	if err != nil || start != 0 {
+		t.Errorf("b start=%d err=%v", start, err)
+	}
+	names := s.VCNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("VCNames = %v", names)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc1", 10)
+	if _, err := s.Admit("vc1", 2, 0, 10); err != nil { // 20 token-seconds
+		t.Fatal(err)
+	}
+	if _, err := s.Admit("vc1", 3, 5, 10); err != nil { // 30 token-seconds
+		t.Fatal(err)
+	}
+	if got := s.Utilization("vc1", 0, 100); got != 50 {
+		t.Errorf("utilization = %d, want 50", got)
+	}
+	// Clipped window.
+	if got := s.Utilization("vc1", 0, 5); got != 10 {
+		t.Errorf("clipped utilization = %d, want 10", got)
+	}
+	if got := s.Utilization("missing", 0, 10); got != 0 {
+		t.Error("unknown VC utilization should be 0")
+	}
+}
+
+func TestAdmitFindsGapAtBoundary(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc1", 2)
+	// Two overlapping 1-token jobs with different ends.
+	if _, err := s.Admit("vc1", 1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit("vc1", 1, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	// A 2-token job must wait for both: starts at 20.
+	start, err := s.Admit("vc1", 2, 0, 5)
+	if err != nil || start != 20 {
+		t.Errorf("start=%d err=%v, want 20", start, err)
+	}
+	// A 1-token job can slot in at 10 when the first ends.
+	start, err = s.Admit("vc1", 1, 0, 5)
+	if err != nil || start != 10 {
+		t.Errorf("start=%d err=%v, want 10", start, err)
+	}
+}

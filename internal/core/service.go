@@ -1,0 +1,331 @@
+// Package core implements the CloudViews controller — the end-to-end
+// runtime of paper §4 and §6 that ties the compiler, optimizer, metadata
+// service, executor, and workload repository into one job service.
+//
+// A submitted job flows exactly as in Figure 6: the compiler fetches the
+// annotations relevant to the job from the metadata service (one lookup),
+// the optimizer rewrites the plan to reuse available views and/or to
+// materialize annotated subgraphs, the executor runs the plan, the job
+// manager publishes views the moment they are sealed (early
+// materialization), and the finished job's plan and runtime statistics are
+// reconciled into the workload repository, closing the feedback loop.
+package core
+
+import (
+	"fmt"
+
+	"cloudviews/internal/analyzer"
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/cluster"
+	"cloudviews/internal/data"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/metadata"
+	"cloudviews/internal/optimizer"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/storage"
+	"cloudviews/internal/workload"
+)
+
+// Config carries the service-wide CloudViews switches.
+type Config struct {
+	// Enabled turns computation reuse on. Off, every job runs untouched.
+	Enabled bool
+	// MaxViewsPerJob bounds per-job materializations (§6.2); the paper's
+	// production evaluation used 1.
+	MaxViewsPerJob int
+	// VCEnabled, when non-nil, restricts CloudViews to the listed VCs —
+	// the per-VC opt-in of §8. Nil means every VC participates.
+	VCEnabled map[string]bool
+	// ValidateResults additionally executes the unoptimized plan and
+	// verifies the outputs match (the output-validation step of §7.1).
+	// Expensive; intended for tests and preview deployments.
+	ValidateResults bool
+	// LatePublish disables early materialization (§6.4): views are
+	// registered with the metadata service only when the producing job
+	// completes, and a failed job's partially written views are deleted.
+	// Exists for the early-materialization ablation; production keeps
+	// early publication on.
+	LatePublish bool
+}
+
+// JobSpec is one job submission.
+type JobSpec struct {
+	Meta workload.JobMeta
+	// Root is the compiled plan. The service never mutates it.
+	Root *plan.Node
+	// Tags are the metadata-service lookup keys; when empty they default
+	// to the plan's inputs plus the template ID.
+	Tags []string
+	// Tokens is the job's VC capacity demand (used when a scheduler is
+	// attached).
+	Tokens int
+}
+
+// JobResult reports one completed job.
+type JobResult struct {
+	Spec     JobSpec
+	Plan     *plan.Node
+	Result   *exec.Result
+	Decision *optimizer.Decision
+	// BaselineResult is set when Config.ValidateResults is on.
+	BaselineResult *exec.Result
+	// AnnotationsUsed preserves the annotations the optimizer saw — the
+	// "job resource" of §6.2 that makes the job reproducible via Replay.
+	AnnotationsUsed []metadata.Annotation
+	// StartTime/FinishTime are simulated times (queueing included when a
+	// scheduler is attached).
+	StartTime, FinishTime int64
+}
+
+// Service is the CloudViews-enabled job service.
+type Service struct {
+	Catalog *catalog.Catalog
+	Store   *storage.Store
+	Meta    *metadata.Service
+	Repo    *workload.Repository
+	Clock   *cluster.Clock
+	Sched   *cluster.Scheduler // optional; nil disables queueing
+	Exec    *exec.Executor
+	Opt     *optimizer.Optimizer
+	Config  Config
+
+	changes changeTracker
+}
+
+// NewService wires a complete in-process job service around a catalog.
+func NewService(cat *catalog.Catalog, cfg Config) *Service {
+	st := storage.NewStore()
+	meta := metadata.NewService()
+	if cfg.MaxViewsPerJob == 0 {
+		cfg.MaxViewsPerJob = 1
+	}
+	s := &Service{
+		Catalog: cat,
+		Store:   st,
+		Meta:    meta,
+		Repo:    workload.NewRepository(),
+		Clock:   &cluster.Clock{},
+		Exec:    &exec.Executor{Catalog: cat, Store: st},
+		Opt: &optimizer.Optimizer{
+			Meta:                 meta,
+			Est:                  &optimizer.Estimator{Catalog: cat},
+			MaxMaterializePerJob: cfg.MaxViewsPerJob,
+		},
+		Config: cfg,
+	}
+	return s
+}
+
+// vcEnabled reports whether CloudViews applies to the job's VC.
+func (s *Service) vcEnabled(vc string) bool {
+	if !s.Config.Enabled {
+		return false
+	}
+	if s.Config.VCEnabled == nil {
+		return true
+	}
+	return s.Config.VCEnabled[vc]
+}
+
+// defaultTags derives the metadata lookup tags from the job: its inputs
+// (normalized names) and its recurring template ID (§6.1).
+func defaultTags(spec JobSpec) []string {
+	tags := append([]string(nil), spec.Tags...)
+	if len(tags) == 0 {
+		tags = plan.Inputs(spec.Root)
+		if spec.Meta.TemplateID != "" {
+			tags = append(tags, spec.Meta.TemplateID)
+		}
+	}
+	return tags
+}
+
+// Submit runs one job through the full CloudViews pipeline and records it
+// in the workload repository. User scripts (plans) are never modified —
+// optimization operates on an internal clone (transparency, §4).
+func (s *Service) Submit(spec JobSpec) (*JobResult, error) {
+	now := s.Clock.Now()
+	jr := &JobResult{Spec: spec, Plan: spec.Root, Decision: &optimizer.Decision{}}
+
+	if s.vcEnabled(spec.Meta.VC) {
+		anns := s.Meta.RelevantViews(spec.Meta.VC, defaultTags(spec))
+		jr.AnnotationsUsed = annotationsSnapshot(anns)
+		jr.Plan, jr.Decision = s.Opt.Optimize(spec.Root, spec.Meta.JobID, anns, now)
+	}
+
+	res, err := s.execute(jr.Plan, spec, jr.Decision, now)
+	if err != nil {
+		return nil, err
+	}
+	jr.Result = res
+
+	// Queueing: reserve VC capacity for the job's simulated duration.
+	jr.StartTime = now
+	if s.Sched != nil {
+		tokens := spec.Tokens
+		if tokens < 1 {
+			tokens = 1
+		}
+		start, aerr := s.Sched.Admit(spec.Meta.VC, tokens, now, int64(res.Latency)+1)
+		if aerr == nil {
+			jr.StartTime = start
+		}
+	}
+	jr.FinishTime = jr.StartTime + int64(res.Latency)
+	// The simulated clock moves with completed work, so build-lock TTLs
+	// (mined average runtimes, §6.1) expire on a meaningful timeline.
+	s.Clock.AdvanceTo(jr.FinishTime + 1)
+
+	// Close the feedback loop.
+	s.Repo.Record(spec.Meta, jr.Plan, res)
+
+	if s.Config.ValidateResults {
+		base, berr := s.runBaseline(spec)
+		if berr != nil {
+			return nil, fmt.Errorf("core: baseline validation run failed: %w", berr)
+		}
+		jr.BaselineResult = base
+		if err := outputsEqual(base, res); err != nil {
+			return nil, fmt.Errorf("core: reuse changed results for job %s: %w", spec.Meta.JobID, err)
+		}
+	}
+	return jr, nil
+}
+
+// execute runs the plan with the early-materialization hook wired: each
+// view is published to the metadata service the instant its files seal,
+// and build locks for views that never sealed are released on failure.
+func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision, now int64) (*exec.Result, error) {
+	intents := map[string]optimizer.BuildIntent{}
+	for _, b := range dec.ViewsBuilt {
+		intents[b.PreciseSig] = b
+	}
+	sealed := map[string]bool{}
+	var pending []metadata.ViewInfo
+
+	ex := *s.Exec // copy so per-job hooks don't race across submissions
+	ex.OnViewMaterialized = func(v *storage.View) {
+		intent, ok := intents[v.PreciseSig]
+		if !ok {
+			return
+		}
+		// Stamp the absolute expiry (instance units) into the file.
+		v.ExpiresAt = spec.Meta.Instance + intent.ExpiryDelta
+		info := metadata.ViewInfo{
+			PreciseSig:    v.PreciseSig,
+			NormSig:       v.NormSig,
+			Path:          v.Path,
+			Schema:        v.Schema,
+			Props:         v.Props,
+			Rows:          v.Rows,
+			Bytes:         v.Bytes,
+			ProducerJobID: spec.Meta.JobID,
+			ExpiresAt:     v.ExpiresAt,
+		}
+		if s.Config.LatePublish {
+			// Ablation mode: hold publication until the job completes.
+			pending = append(pending, info)
+			return
+		}
+		// Early materialization (§6.4): consumers may use the view while
+		// this job is still running.
+		s.Meta.ReportMaterialized(info)
+		s.changes.recordBuild()
+		sealed[v.PreciseSig] = true
+	}
+
+	res, err := ex.Run(root, spec.Meta.JobID, now)
+	if err != nil {
+		// Early mode: views already sealed survive (checkpoint
+		// semantics); locks for unsealed views are released so another
+		// job can build them. Late mode: unpublished files are deleted
+		// too — the job is atomic, nothing survives.
+		for _, p := range pending {
+			s.Store.Delete(p.Path)
+		}
+		for sig := range intents {
+			if !sealed[sig] {
+				s.Meta.AbortMaterialize(sig, spec.Meta.JobID)
+			}
+		}
+		return nil, err
+	}
+	for _, p := range pending {
+		s.Meta.ReportMaterialized(p)
+		s.changes.recordBuild()
+	}
+	return res, nil
+}
+
+// runBaseline executes the unoptimized plan against a scratch view store
+// so validation can never interfere with real materializations.
+func (s *Service) runBaseline(spec JobSpec) (*exec.Result, error) {
+	ex := exec.Executor{Catalog: s.Catalog, Store: storage.NewStore()}
+	return ex.Run(plan.Clone(spec.Root), spec.Meta.JobID+"-baseline", s.Clock.Now())
+}
+
+func outputsEqual(a, b *exec.Result) error {
+	if len(a.Outputs) != len(b.Outputs) {
+		return fmt.Errorf("output sink count %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	for name, rows := range a.Outputs {
+		other, ok := b.Outputs[name]
+		if !ok {
+			return fmt.Errorf("missing output %q", name)
+		}
+		if !data.RowsEqual(rows, other) {
+			return fmt.Errorf("output %q differs", name)
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer executes the CloudViews analyzer over the workload
+// repository and loads the resulting annotations into the metadata
+// service. It returns the analysis for reporting.
+func (s *Service) RunAnalyzer(cfg analyzer.Config) *analyzer.Analysis {
+	an := analyzer.New(s.Repo).Analyze(cfg)
+	s.Meta.LoadAnalysis(an.Annotations)
+	return an
+}
+
+// RunOfflinePhase pre-materializes the offline-annotated subgraphs of a
+// job ahead of the workload (§6.2's offline mode for tenants with slack).
+// It returns the number of views built.
+func (s *Service) RunOfflinePhase(spec JobSpec) (int, error) {
+	if !s.vcEnabled(spec.Meta.VC) {
+		return 0, nil
+	}
+	now := s.Clock.Now()
+	anns := s.Meta.RelevantViews(spec.Meta.VC, defaultTags(spec))
+	plans, intents := s.Opt.OfflineViewPlans(spec.Root, spec.Meta.JobID, anns, now)
+	built := 0
+	for i, p := range plans {
+		dec := &optimizer.Decision{ViewsBuilt: []optimizer.BuildIntent{intents[i]}}
+		if _, err := s.execute(p, spec, dec, now); err != nil {
+			return built, err
+		}
+		built++
+	}
+	return built, nil
+}
+
+// BeginInstance advances the service to recurring instance i: expired view
+// registrations are purged from the metadata service first, then the
+// physical files are deleted — the §5.4 ordering that keeps in-flight
+// consumers safe.
+func (s *Service) BeginInstance(i int64) {
+	s.changes.roll()
+	for _, path := range s.Meta.PurgeExpired(i) {
+		s.Store.Delete(path)
+	}
+	// Views that never made it into the metadata service (crashed
+	// builders) are reclaimed straight from storage.
+	for _, v := range s.Store.Views() {
+		if v.ExpiresAt <= i {
+			if _, ok := s.Meta.LookupView(v.PreciseSig); !ok {
+				s.Store.Delete(v.Path)
+			}
+		}
+	}
+}

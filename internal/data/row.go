@@ -1,0 +1,162 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is a tuple of values laid out in schema order.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (values are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Hash64 hashes the subset of columns named by idx; with no indexes it
+// hashes the whole row. Used for shuffles, hash joins, and grouping.
+func (r Row) Hash64(idx ...int) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	mix := func(v Value) {
+		h ^= v.Hash64()
+		h *= prime64
+	}
+	if len(idx) == 0 {
+		for _, v := range r {
+			mix(v)
+		}
+		return h
+	}
+	for _, i := range idx {
+		mix(r[i])
+	}
+	return h
+}
+
+// ByteSize returns the approximate size of the row in bytes.
+func (r Row) ByteSize() int64 {
+	var n int64
+	for _, v := range r {
+		n += v.ByteSize()
+	}
+	return n
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CompareRows orders rows column-by-column over the key indexes; descending
+// directions flip the per-column order. len(desc) may be shorter than keys,
+// in which case missing entries are ascending.
+func CompareRows(a, b Row, keys []int, desc []bool) int {
+	for i, k := range keys {
+		c := Compare(a[k], b[k])
+		if c == 0 {
+			continue
+		}
+		if i < len(desc) && desc[i] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// SortRows sorts rows in place by the given key columns and directions,
+// using a stable sort so equal keys preserve input order.
+func SortRows(rows []Row, keys []int, desc []bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return CompareRows(rows[i], rows[j], keys, desc) < 0
+	})
+}
+
+// RowsEqual reports whether two row sets are equal as multisets, ignoring
+// order. It is the comparator used by correctness tests (CloudViews must
+// never change query results).
+func RowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := canonicalize(a)
+	kb := canonicalize(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func canonicalize(rows []Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns the schema restricted to the given column indexes.
+func (s Schema) Project(idx []int) Schema {
+	out := make(Schema, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation of two schemas (join output shape).
+func (s Schema) Concat(t Schema) Schema {
+	out := make(Schema, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// String renders the schema as "name:kind, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}

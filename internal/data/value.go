@@ -1,0 +1,247 @@
+// Package data provides the typed value, row, schema, and partitioned table
+// primitives shared by the plan, execution, and storage layers.
+//
+// Values are kept in a compact tagged union so rows can be hashed, compared,
+// and shuffled without reflection. Dates are represented as days since the
+// Unix epoch, which is all the recurring-workload machinery needs (recurring
+// jobs vary date predicates per instance).
+package data
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate // days since 1970-01-01
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // payload for KindInt, KindBool (0/1), KindDate
+	F float64 // payload for KindFloat
+	S string  // payload for KindString
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// String_ returns a string value. The trailing underscore avoids colliding
+// with the fmt.Stringer method on Value.
+func String_(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{K: KindBool, I: i}
+}
+
+// Date returns a date value expressed as days since the Unix epoch.
+func Date(days int64) Value { return Value{K: KindDate, I: days} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truth reports whether v is a true boolean. NULL and non-booleans are false.
+func (v Value) Truth() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat converts numeric values to float64; other kinds yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts numeric values to int64; other kinds yield 0.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value for debugging and report output.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return "d" + strconv.FormatInt(v.I, 10)
+	default:
+		return "?"
+	}
+}
+
+// numericKind reports whether k participates in numeric comparison.
+func numericKind(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
+}
+
+// rank groups kinds into comparison classes so mixed-kind ordering is a
+// total order: NULL < all numerics < strings.
+func rank(k Kind) int {
+	switch {
+	case k == KindNull:
+		return 0
+	case numericKind(k):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Compare orders two values: -1 if a < b, 0 if equal, +1 if a > b.
+// NULL sorts before everything, numerics before strings. Numeric kinds
+// compare by value so Int(3) equals Float(3.0).
+func Compare(a, b Value) int {
+	if ra, rb := rank(a.K), rank(b.K); ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if a.K == KindNull {
+		return 0
+	}
+	if numericKind(a.K) {
+		if a.K == KindFloat || b.K == KindFloat {
+			af, bf := a.AsFloat(), b.AsFloat()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Both rank 2: compare as strings.
+	switch {
+	case a.S < b.S:
+		return -1
+	case a.S > b.S:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash64 returns a 64-bit hash of the value, consistent with Equal for
+// same-kind values (the executor only hashes join/group keys of one kind).
+func (v Value) Hash64() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(v.K)
+	switch v.K {
+	case KindString:
+		buf[0] = byte(KindString)
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	case KindFloat:
+		bits := math.Float64bits(v.F)
+		// Normalize -0.0 to 0.0 so Equal values hash alike.
+		if v.F == 0 {
+			bits = 0
+		}
+		putUint64(buf[1:], bits)
+		h.Write(buf[:])
+	default:
+		putUint64(buf[1:], uint64(v.I))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// ByteSize returns the approximate in-memory size of the value in bytes,
+// used by the cost model and storage accounting.
+func (v Value) ByteSize() int64 {
+	if v.K == KindString {
+		return int64(16 + len(v.S))
+	}
+	return 16
+}

@@ -1,0 +1,189 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v      Value
+		kind   Kind
+		asInt  int64
+		asF    float64
+		isNull bool
+	}{
+		{Null(), KindNull, 0, 0, true},
+		{Int(42), KindInt, 42, 42, false},
+		{Float(2.5), KindFloat, 2, 2.5, false},
+		{String_("x"), KindString, 0, 0, false},
+		{Bool(true), KindBool, 1, 1, false},
+		{Bool(false), KindBool, 0, 0, false},
+		{Date(17532), KindDate, 17532, 17532, false},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.K, c.kind)
+		}
+		if c.v.AsInt() != c.asInt {
+			t.Errorf("%v: AsInt %d, want %d", c.v, c.v.AsInt(), c.asInt)
+		}
+		if c.v.AsFloat() != c.asF {
+			t.Errorf("%v: AsFloat %g, want %g", c.v, c.v.AsFloat(), c.asF)
+		}
+		if c.v.IsNull() != c.isNull {
+			t.Errorf("%v: IsNull %v, want %v", c.v, c.v.IsNull(), c.isNull)
+		}
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if !Bool(true).Truth() {
+		t.Error("Bool(true).Truth() = false")
+	}
+	for _, v := range []Value{Bool(false), Null(), Int(1), String_("true")} {
+		if v.Truth() {
+			t.Errorf("%v.Truth() = true, want false", v)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(3), Float(3.0), 0},
+		{Date(10), Date(20), -1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Null(), Int(-999), -1},
+		{Int(-999), Null(), 1},
+		{Null(), Null(), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Int(1), 0}, // numeric-kind cross comparison
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	vals := []Value{Null(), Int(0), Int(5), Float(5), Float(-1.5), String_(""), String_("z"), Bool(true), Date(100)}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	// Equal same-kind values must hash equal.
+	pairs := [][2]Value{
+		{Int(7), Int(7)},
+		{String_("abc"), String_("abc")},
+		{Float(0.0), Float(-0.0)},
+		{Date(42), Date(42)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("expected %v == %v", p[0], p[1])
+		}
+		if p[0].Hash64() != p[1].Hash64() {
+			t.Errorf("equal values %v,%v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		seen[Int(i).Hash64()] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("integer hash collides too much: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"hi":    String_("hi"),
+		"true":  Bool(true),
+		"false": Bool(false),
+		"d99":   Date(99),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("%#v.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if Int(1).ByteSize() != 16 {
+		t.Errorf("int size = %d, want 16", Int(1).ByteSize())
+	}
+	if String_("abcd").ByteSize() != 20 {
+		t.Errorf("string size = %d, want 20", String_("abcd").ByteSize())
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63n(1000) - 500)
+	case 2:
+		return Float(float64(r.Int63n(1000)) / 7)
+	case 3:
+		return String_(string(rune('a' + r.Intn(26))))
+	case 4:
+		return Bool(r.Intn(2) == 0)
+	default:
+		return Date(r.Int63n(20000))
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	// Property: Compare is reflexive-zero and transitive over random triples.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if Compare(a, a) != 0 {
+			return false
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualImpliesEqualHashProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomValue(r)
+		b := a
+		return !Equal(a, b) || a.Hash64() == b.Hash64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+	"cloudviews/internal/expr"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/storage"
+)
+
+// TestExecutionDeterminismProperty asserts the executor is fully
+// deterministic: the same plan over the same data yields byte-identical
+// ordered outputs every run — including through Sort/Top tie-breaks and
+// the (map-backed) hash aggregate. Reuse validation depends on this.
+func TestExecutionDeterminismProperty(t *testing.T) {
+	e := env(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := randomPipeline(r).Sort([]int{0}, nil).Top(7).Output("o")
+		r1, err := e.Run(root, "a", 0)
+		if err != nil {
+			return false
+		}
+		r2, err := e.Run(plan.Clone(root), "b", 0)
+		if err != nil {
+			return false
+		}
+		a, b := r1.Outputs["o"], r2.Outputs["o"]
+		if len(a) != len(b) {
+			return false
+		}
+		// Ordered, exact comparison — multiset equality is not enough here.
+		for i := range a {
+			if data.CompareRows(a[i], b[i], allCols(a[i]), nil) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopThroughViewMatchesRecompute pins the subtle tie-break case: a
+// Top over a Sort selects identical rows whether the input subtree is
+// recomputed or read from a materialized view with a different physical
+// layout.
+func TestTopThroughViewMatchesRecompute(t *testing.T) {
+	e := env(t)
+	base := plan.Scan("sales", "sales-v1", salesSchema()).
+		HashAgg([]int{1}, []plan.AggSpec{{Fn: plan.AggCount, Col: 0}}) // many count ties
+	sig := signature.Of(base)
+
+	top := func(in *plan.Node) *plan.Node {
+		// Sort on the tie-heavy count column, keep 3.
+		return in.Sort([]int{1}, []bool{true}).Top(3).Output("o")
+	}
+	direct, err := e.Run(top(base), "direct", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize with a hostile physical design: single partition sorted
+	// by the opposite column.
+	props := plan.PhysicalProps{
+		Part: plan.Partitioning{Kind: plan.PartSingleton, Count: 1},
+		Sort: plan.SortOrder{Cols: []int{0}, Desc: []bool{true}},
+	}
+	path := storage.PathFor(sig.Precise, "builder")
+	mat := base.Materialize(path, sig.Precise, sig.Normalized, props).Output("x")
+	if _, err := e.Run(mat, "builder", 0); err != nil {
+		t.Fatal(err)
+	}
+	vs := plan.ViewScan(path, base.Schema(), sig.Precise, sig.Normalized)
+	viaView, err := e.Run(top(vs), "viaview", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := direct.Outputs["o"], viaView.Outputs["o"]
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("top sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if data.CompareRows(a[i], b[i], allCols(a[i]), nil) != 0 {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func allCols(r data.Row) []int {
+	out := make([]int, len(r))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	e := env(t)
+	h := plan.Scan("sales", "sales-v1", salesSchema()).
+		HashJoin(plan.Scan("items", "items-v1", itemSchema()), []int{0}, []int{0}).
+		Output("o")
+	m := plan.Scan("sales", "sales-v1", salesSchema()).
+		MergeJoin(plan.Scan("items", "items-v1", itemSchema()), []int{0}, []int{0}).
+		Output("o")
+	rh, err := e.Run(h, "h", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := e.Run(m, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.RowsEqual(rh.Outputs["o"], rm.Outputs["o"]) {
+		t.Error("merge join and hash join disagree")
+	}
+}
+
+func TestRangePartitionExchange(t *testing.T) {
+	e := env(t)
+	p := plan.Scan("sales", "sales-v1", salesSchema()).
+		RangePartition([]int{3}, 4). // range on price
+		Output("o")
+	res, err := e.Run(p, "j", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs["o"]) != 200 {
+		t.Fatalf("range exchange lost rows: %d", len(res.Outputs["o"]))
+	}
+	ex := p.Children[0]
+	if res.NodeStats[ex].DOP != 4 {
+		t.Errorf("DOP = %d", res.NodeStats[ex].DOP)
+	}
+	// A range exchange costs more than a hash exchange (it sorts).
+	h := plan.Scan("sales", "sales-v1", salesSchema()).ShuffleHash([]int{3}, 4).Output("o")
+	rh, err := e.Run(h, "j2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeStats[ex].ExclusiveCost <= rh.NodeStats[h.Children[0]].ExclusiveCost {
+		t.Error("range exchange should cost more than hash exchange")
+	}
+	// Derived properties: partitioned AND sorted.
+	props := plan.DeriveProps(ex)
+	if props.Part.Kind != plan.PartRange || len(props.Sort.Cols) != 1 || props.Sort.Cols[0] != 3 {
+		t.Errorf("derived props = %+v", props)
+	}
+	// Verify global ordering across partitions: re-running and walking
+	// output in partition order yields ascending price.
+	outRows := res.Outputs["o"]
+	for i := 1; i < len(outRows); i++ {
+		if outRows[i-1][3].AsFloat() > outRows[i][3].AsFloat() {
+			t.Fatal("range partitions not globally ordered")
+		}
+	}
+}
+
+func TestRangeDesignedView(t *testing.T) {
+	e := env(t)
+	base := plan.Scan("sales", "sales-v1", salesSchema()).
+		HashAgg([]int{0}, []plan.AggSpec{{Fn: plan.AggSum, Col: 3}})
+	sig := signature.Of(base)
+	props := plan.PhysicalProps{
+		Part: plan.Partitioning{Kind: plan.PartRange, Cols: []int{0}, Count: 3},
+	}
+	path := storage.PathFor(sig.Precise, "b")
+	mat := base.Materialize(path, sig.Precise, sig.Normalized, props).Output("x")
+	if _, err := e.Run(mat, "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Store.Get(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Partitions) != 3 {
+		t.Fatalf("partitions = %d", len(v.Partitions))
+	}
+	// Ranges are disjoint and ascending across partitions.
+	var last data.Value
+	started := false
+	for _, part := range v.Partitions {
+		for _, r := range part {
+			if started && data.Compare(last, r[0]) > 0 {
+				t.Fatal("range view not globally ordered")
+			}
+			last = r[0]
+			started = true
+		}
+	}
+}
+
+func TestSkewedPartitionsStraggle(t *testing.T) {
+	// Two tables with identical rows: one balanced across 4 partitions,
+	// one with everything in a single hot partition. The same downstream
+	// operator must show higher simulated latency on the skewed layout.
+	cat := catalog.New()
+	sch := data.Schema{{Name: "k", Kind: data.KindInt}, {Name: "v", Kind: data.KindFloat}}
+	balanced := data.NewTable("balanced", "g", sch, 4)
+	skewed := data.NewTable("skewed", "g", sch, 4)
+	rr := 0
+	for i := 0; i < 400; i++ {
+		row := data.Row{data.Int(int64(i)), data.Float(float64(i))}
+		balanced.AppendHash(row, nil, &rr) // round robin: balanced
+		skewed.Partitions[0] = append(skewed.Partitions[0], row)
+	}
+	cat.Register(balanced)
+	cat.Register(skewed)
+	e := &Executor{Catalog: cat, Store: storage.NewStore()}
+
+	run := func(table string) float64 {
+		p := plan.Scan(table, "g", sch).
+			Filter(expr.B(expr.OpGe, expr.C(0, "k"), expr.Lit(data.Int(0)))).
+			Output("o")
+		res, err := e.Run(p, table, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency
+	}
+	if lb, ls := run("balanced"), run("skewed"); ls <= lb {
+		t.Errorf("skewed latency %.1f should exceed balanced %.1f", ls, lb)
+	}
+}

@@ -1,0 +1,774 @@
+// Package exec executes physical plans over real rows while maintaining a
+// simulated cost clock.
+//
+// Execution is faithful (operators really filter, join, aggregate, and
+// shuffle rows, so correctness of computation reuse is testable end to
+// end), while latency and CPU consumption are *simulated* from a cost
+// model — the substitution for SCOPE's production cluster documented in
+// DESIGN.md. Per-operator statistics feed the CloudViews feedback loop.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/storage"
+)
+
+// Executor runs plans against a catalog of base tables and a view store.
+type Executor struct {
+	Catalog *catalog.Catalog
+	Store   *storage.Store
+
+	// OnViewMaterialized, if set, is invoked the moment a Materialize
+	// operator finishes writing its view — before the rest of the job
+	// runs. This is the early-materialization publication hook (§6.4):
+	// the job manager reports the view while the job is still running.
+	OnViewMaterialized func(v *storage.View)
+
+	// FailAfter, if set, is consulted after each operator completes; a
+	// non-nil error aborts the job. Used to inject job failures for the
+	// early-materialization / checkpoint experiments.
+	FailAfter func(n *plan.Node) error
+}
+
+// Result is the outcome of one job execution.
+type Result struct {
+	// Outputs maps sink name to the produced rows.
+	Outputs map[string][]data.Row
+	// NodeStats holds per-operator runtime statistics keyed by the
+	// executed plan's nodes.
+	NodeStats map[*plan.Node]*Stats
+	// TotalCPU is the job's total simulated CPU cost (the PN-hours proxy).
+	TotalCPU float64
+	// Latency is the job's simulated end-to-end latency (critical path).
+	Latency float64
+	// MaterializedPaths lists views written during execution.
+	MaterializedPaths []string
+}
+
+// partitions is the unit flowing between operators.
+type partitions [][]data.Row
+
+func (p partitions) rows() int64 {
+	var n int64
+	for _, part := range p {
+		n += int64(len(part))
+	}
+	return n
+}
+
+func (p partitions) bytes() int64 {
+	var n int64
+	for _, part := range p {
+		for _, r := range part {
+			n += r.ByteSize()
+		}
+	}
+	return n
+}
+
+func (p partitions) flatten() []data.Row {
+	out := make([]data.Row, 0, p.rows())
+	for _, part := range p {
+		out = append(out, part...)
+	}
+	return out
+}
+
+type execState struct {
+	res  *Result
+	memo map[*plan.Node]partitions
+	now  int64
+	job  string
+}
+
+// Run executes the plan rooted at root. jobID tags provenance of any views
+// materialized; now is the simulated time used for view creation stamps.
+func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error) {
+	st := &execState{
+		res: &Result{
+			Outputs:   map[string][]data.Row{},
+			NodeStats: map[*plan.Node]*Stats{},
+		},
+		memo: map[*plan.Node]partitions{},
+		now:  now,
+		job:  jobID,
+	}
+	if _, err := e.run(root, st); err != nil {
+		return nil, err
+	}
+	for _, s := range st.res.NodeStats {
+		st.res.TotalCPU += s.ExclusiveCost
+	}
+	st.res.Latency = st.res.NodeStats[root].Latency
+	return st.res, nil
+}
+
+func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
+	if out, ok := st.memo[n]; ok {
+		return out, nil
+	}
+	childParts := make([]partitions, len(n.Children))
+	var childLatency float64
+	var childCumCost float64
+	for i, c := range n.Children {
+		p, err := e.run(c, st)
+		if err != nil {
+			return nil, err
+		}
+		childParts[i] = p
+		cs := st.res.NodeStats[c]
+		if cs.Latency > childLatency {
+			childLatency = cs.Latency
+		}
+		childCumCost += cs.CumulativeCost
+	}
+
+	out, cost, err := e.apply(n, childParts, st)
+	if err != nil {
+		return nil, err
+	}
+
+	dop := len(out)
+	if dop < 1 {
+		dop = 1
+	}
+	s := &Stats{
+		Rows:           out.rows(),
+		Bytes:          out.bytes(),
+		ExclusiveCost:  cost,
+		CumulativeCost: childCumCost + cost,
+		Latency:        childLatency + latencyShare(cost, out),
+		DOP:            dop,
+	}
+	st.res.NodeStats[n] = s
+	st.memo[n] = out
+
+	if e.FailAfter != nil {
+		if ferr := e.FailAfter(n); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return out, nil
+}
+
+// latencyShare converts an operator's CPU cost into wall-clock time: the
+// job waits for the *slowest* worker, so the share is cost weighted by the
+// largest partition's fraction of the rows. Balanced partitions give the
+// ideal cost/DOP; skewed layouts (including badly designed views, §5.3)
+// straggle.
+func latencyShare(cost float64, out partitions) float64 {
+	dop := len(out)
+	if dop <= 1 {
+		return cost
+	}
+	total := out.rows()
+	if total == 0 {
+		return cost / float64(dop)
+	}
+	maxPart := 0
+	for _, p := range out {
+		if len(p) > maxPart {
+			maxPart = len(p)
+		}
+	}
+	return cost * float64(maxPart) / float64(total)
+}
+
+// apply executes one operator and returns its output partitions and its
+// exclusive simulated cost.
+func (e *Executor) apply(n *plan.Node, in []partitions, st *execState) (partitions, float64, error) {
+	switch n.Kind {
+	case plan.OpExtract:
+		return e.applyExtract(n)
+	case plan.OpViewScan:
+		return e.applyViewScan(n)
+	case plan.OpFilter:
+		return applyFilter(n, in[0])
+	case plan.OpProject:
+		return applyProject(n, in[0])
+	case plan.OpExchange:
+		return applyExchange(n, in[0])
+	case plan.OpHashJoin, plan.OpMergeJoin:
+		return applyJoin(n, in[0], in[1])
+	case plan.OpHashGbAgg:
+		return applyHashAgg(n, in[0])
+	case plan.OpStreamGbAgg:
+		return applyStreamAgg(n, in[0])
+	case plan.OpSort:
+		return applySort(n, in[0])
+	case plan.OpTop:
+		return applyTop(n, in[0])
+	case plan.OpUnionAll:
+		return applyUnion(n, in)
+	case plan.OpProcess:
+		return applyProcess(n, in[0])
+	case plan.OpReduce:
+		return applyReduce(n, in[0])
+	case plan.OpSpool:
+		return in[0], OperatorCost(n.Kind, 0, 0, 0), nil
+	case plan.OpOutput:
+		rows := in[0].flatten()
+		st.res.Outputs[n.OutputName] = rows
+		return in[0], OperatorCost(n.Kind, in[0].rows(), 0, 0), nil
+	case plan.OpMaterialize:
+		return e.applyMaterialize(n, in[0], st)
+	default:
+		return nil, 0, fmt.Errorf("exec: unsupported operator %v", n.Kind)
+	}
+}
+
+func (e *Executor) applyExtract(n *plan.Node) (partitions, float64, error) {
+	t, err := e.Catalog.Get(n.Table)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t.GUID != n.GUID {
+		return nil, 0, fmt.Errorf("exec: table %s has version %s, plan compiled against %s",
+			n.Table, t.GUID, n.GUID)
+	}
+	out := make(partitions, len(t.Partitions))
+	for i := range t.Partitions {
+		out[i] = t.Partitions[i]
+	}
+	return out, OperatorCost(n.Kind, out.rows(), 0, out.bytes()), nil
+}
+
+func (e *Executor) applyViewScan(n *plan.Node) (partitions, float64, error) {
+	v, err := e.Store.Get(n.ViewPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(partitions, len(v.Partitions))
+	copy(out, v.Partitions)
+	return out, OperatorCost(n.Kind, 0, v.Rows, v.Bytes), nil
+}
+
+// forEachPartition runs fn over every input partition, in parallel when
+// the data is large enough to amortize goroutine startup. Output order is
+// deterministic: fn(i) writes slot i. Expressions and operator state are
+// read-only during evaluation, so per-partition work is race-free.
+func forEachPartition(in partitions, fn func(i int, part []data.Row) []data.Row) partitions {
+	out := make(partitions, len(in))
+	if len(in) < 2 || in.rows() < 256 {
+		for i, part := range in {
+			out[i] = fn(i, part)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, part := range in {
+		wg.Add(1)
+		go func(i int, part []data.Row) {
+			defer wg.Done()
+			out[i] = fn(i, part)
+		}(i, part)
+	}
+	wg.Wait()
+	return out
+}
+
+func applyFilter(n *plan.Node, in partitions) (partitions, float64, error) {
+	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
+		var kept []data.Row
+		for _, r := range part {
+			if n.Pred.Eval(r).Truth() {
+				kept = append(kept, r)
+			}
+		}
+		return kept
+	})
+	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func applyProject(n *plan.Node, in partitions) (partitions, float64, error) {
+	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
+		rows := make([]data.Row, len(part))
+		for j, r := range part {
+			nr := make(data.Row, len(n.Exprs))
+			for k, ex := range n.Exprs {
+				nr[k] = ex.Eval(r)
+			}
+			rows[j] = nr
+		}
+		return rows
+	})
+	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func applyExchange(n *plan.Node, in partitions) (partitions, float64, error) {
+	cost := OperatorCost(n.Kind, in.rows(), 0, in.bytes())
+	switch n.Part.Kind {
+	case plan.PartSingleton:
+		return partitions{in.flatten()}, cost, nil
+	case plan.PartHash:
+		count := n.Part.Count
+		if count < 1 {
+			count = 1
+		}
+		out := make(partitions, count)
+		for _, part := range in {
+			for _, r := range part {
+				p := int(r.Hash64(n.Part.Cols...) % uint64(count))
+				out[p] = append(out[p], r)
+			}
+		}
+		return out, cost, nil
+	case plan.PartRoundRobin:
+		count := n.Part.Count
+		if count < 1 {
+			count = 1
+		}
+		out := make(partitions, count)
+		i := 0
+		for _, part := range in {
+			for _, r := range part {
+				out[i%count] = append(out[i%count], r)
+				i++
+			}
+		}
+		return out, cost, nil
+	case plan.PartRange:
+		count := n.Part.Count
+		if count < 1 {
+			count = 1
+		}
+		// Parallel sort: a range exchange globally sorts on the range
+		// columns (full-row tie-break for determinism) and slices into
+		// equi-depth partitions. It pays sort cost on top of shuffle cost.
+		rows := in.flatten()
+		keys := append([]int(nil), n.Part.Cols...)
+		if len(rows) > 0 {
+			for i := range rows[0] {
+				keys = append(keys, i)
+			}
+		}
+		data.SortRows(rows, keys, nil)
+		if nr := float64(len(rows)); nr > 1 {
+			cost += nr * costPerRowSortBase * math.Log2(nr)
+		}
+		out := make(partitions, count)
+		per := (len(rows) + count - 1) / count
+		for i := 0; i < count; i++ {
+			lo := i * per
+			hi := lo + per
+			if lo > len(rows) {
+				lo = len(rows)
+			}
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			out[i] = rows[lo:hi]
+		}
+		return out, cost, nil
+	default:
+		return in, cost, nil
+	}
+}
+
+// applyJoin implements an inner equi-join. The build side is the right
+// input; output rows are left ++ right, partitioned like the left input.
+func applyJoin(n *plan.Node, left, right partitions) (partitions, float64, error) {
+	build := map[uint64][]data.Row{}
+	for _, part := range right {
+		for _, r := range part {
+			h := r.Hash64(n.RightKeys...)
+			build[h] = append(build[h], r)
+		}
+	}
+	out := make(partitions, len(left))
+	for i, part := range left {
+		var rows []data.Row
+		for _, l := range part {
+			h := l.Hash64(n.LeftKeys...)
+			for _, r := range build[h] {
+				if joinKeysMatch(l, r, n.LeftKeys, n.RightKeys) {
+					nr := make(data.Row, 0, len(l)+len(r))
+					nr = append(nr, l...)
+					nr = append(nr, r...)
+					rows = append(rows, nr)
+				}
+			}
+		}
+		out[i] = rows
+	}
+	cost := OperatorCost(n.Kind, left.rows(), 0, 0) + float64(right.rows())*costPerRowJoinBuild
+	return out, cost, nil
+}
+
+func joinKeysMatch(l, r data.Row, lk, rk []int) bool {
+	for i := range lk {
+		if !data.Equal(l[lk[i]], r[rk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+type aggState struct {
+	key    data.Row
+	sums   []float64
+	ints   []int64
+	counts []int64
+	mins   []data.Value
+	maxs   []data.Value
+	isFlt  []bool
+}
+
+func newAggState(n *plan.Node, in data.Schema, key data.Row) *aggState {
+	a := &aggState{
+		key:    key,
+		sums:   make([]float64, len(n.Aggs)),
+		ints:   make([]int64, len(n.Aggs)),
+		counts: make([]int64, len(n.Aggs)),
+		mins:   make([]data.Value, len(n.Aggs)),
+		maxs:   make([]data.Value, len(n.Aggs)),
+		isFlt:  make([]bool, len(n.Aggs)),
+	}
+	for i, spec := range n.Aggs {
+		a.isFlt[i] = in[spec.Col].Kind == data.KindFloat
+	}
+	return a
+}
+
+func (a *aggState) update(n *plan.Node, r data.Row) {
+	for i, spec := range n.Aggs {
+		v := r[spec.Col]
+		if v.IsNull() && spec.Fn != plan.AggCount {
+			continue
+		}
+		switch spec.Fn {
+		case plan.AggSum, plan.AggAvg:
+			a.sums[i] += v.AsFloat()
+			a.ints[i] += v.AsInt()
+			a.counts[i]++
+		case plan.AggCount:
+			a.counts[i]++
+		case plan.AggMin:
+			if a.counts[i] == 0 || data.Compare(v, a.mins[i]) < 0 {
+				a.mins[i] = v
+			}
+			a.counts[i]++
+		case plan.AggMax:
+			if a.counts[i] == 0 || data.Compare(v, a.maxs[i]) > 0 {
+				a.maxs[i] = v
+			}
+			a.counts[i]++
+		}
+	}
+}
+
+func (a *aggState) emit(n *plan.Node) data.Row {
+	out := make(data.Row, 0, len(a.key)+len(n.Aggs))
+	out = append(out, a.key...)
+	for i, spec := range n.Aggs {
+		switch spec.Fn {
+		case plan.AggSum:
+			if a.isFlt[i] {
+				out = append(out, data.Float(a.sums[i]))
+			} else {
+				out = append(out, data.Int(a.ints[i]))
+			}
+		case plan.AggAvg:
+			if a.counts[i] == 0 {
+				out = append(out, data.Null())
+			} else {
+				out = append(out, data.Float(a.sums[i]/float64(a.counts[i])))
+			}
+		case plan.AggCount:
+			out = append(out, data.Int(a.counts[i]))
+		case plan.AggMin:
+			out = append(out, normAggValue(a.mins[i]))
+		case plan.AggMax:
+			out = append(out, normAggValue(a.maxs[i]))
+		}
+	}
+	return out
+}
+
+// normAggValue maps date/bool extremes to ints per the schema derivation.
+func normAggValue(v data.Value) data.Value {
+	switch v.K {
+	case data.KindDate, data.KindBool:
+		return data.Int(v.I)
+	default:
+		return v
+	}
+}
+
+func applyHashAgg(n *plan.Node, in partitions) (partitions, float64, error) {
+	inSchema := n.Children[0].Schema()
+	groups := map[uint64][]*aggState{}
+	for _, part := range in {
+		for _, r := range part {
+			h := r.Hash64(n.GroupBy...)
+			var st *aggState
+			for _, cand := range groups[h] {
+				if keyEqual(cand.key, r, n.GroupBy) {
+					st = cand
+					break
+				}
+			}
+			if st == nil {
+				key := make(data.Row, len(n.GroupBy))
+				for i, g := range n.GroupBy {
+					key[i] = r[g]
+				}
+				st = newAggState(n, inSchema, key)
+				groups[h] = append(groups[h], st)
+			}
+			st.update(n, r)
+		}
+	}
+	count := len(in)
+	if count < 1 {
+		count = 1
+	}
+	out := make(partitions, count)
+	outKeys := make([]int, len(n.GroupBy))
+	for i := range outKeys {
+		outKeys[i] = i
+	}
+	for _, bucket := range groups {
+		for _, st := range bucket {
+			r := st.emit(n)
+			p := 0
+			if len(outKeys) > 0 {
+				p = int(r.Hash64(outKeys...) % uint64(count))
+			}
+			out[p] = append(out[p], r)
+		}
+	}
+	// Map iteration order is random; emit each partition in group-key
+	// order so execution is deterministic (downstream Sort/Top tie-breaks
+	// must not depend on map order — results would vary run to run).
+	for _, part := range out {
+		data.SortRows(part, outKeys, nil)
+	}
+	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func keyEqual(key data.Row, r data.Row, groupBy []int) bool {
+	for i, g := range groupBy {
+		if !data.Equal(key[i], r[g]) {
+			return false
+		}
+	}
+	return true
+}
+
+func applyStreamAgg(n *plan.Node, in partitions) (partitions, float64, error) {
+	rows := in.flatten()
+	data.SortRows(rows, n.GroupBy, nil)
+	inSchema := n.Children[0].Schema()
+	var out []data.Row
+	var cur *aggState
+	for _, r := range rows {
+		if cur == nil || !keyEqual(cur.key, r, n.GroupBy) {
+			if cur != nil {
+				out = append(out, cur.emit(n))
+			}
+			key := make(data.Row, len(n.GroupBy))
+			for i, g := range n.GroupBy {
+				key[i] = r[g]
+			}
+			cur = newAggState(n, inSchema, key)
+		}
+		cur.update(n, r)
+	}
+	if cur != nil {
+		out = append(out, cur.emit(n))
+	}
+	return partitions{out}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func applySort(n *plan.Node, in partitions) (partitions, float64, error) {
+	rows := in.flatten()
+	// Tie-break on the full row so sort order is a total order: a Top
+	// above the sort must select the same rows whether its input was
+	// recomputed or read back from a materialized view (whose physical
+	// layout may legally differ).
+	allCols := make([]int, 0)
+	if len(rows) > 0 {
+		for i := range rows[0] {
+			allCols = append(allCols, i)
+		}
+	}
+	sortKeys := append(append([]int(nil), n.SortKeys...), allCols...)
+	desc := append([]bool(nil), n.Desc...)
+	data.SortRows(rows, sortKeys, desc)
+	return partitions{rows}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func applyTop(n *plan.Node, in partitions) (partitions, float64, error) {
+	rows := in.flatten()
+	if int64(len(rows)) > n.N {
+		rows = rows[:n.N]
+	}
+	return partitions{rows}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func applyUnion(n *plan.Node, in []partitions) (partitions, float64, error) {
+	var out partitions
+	var total int64
+	for _, p := range in {
+		out = append(out, p...)
+		total += p.rows()
+	}
+	return out, OperatorCost(n.Kind, total, 0, 0), nil
+}
+
+func applyProcess(n *plan.Node, in partitions) (partitions, float64, error) {
+	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
+		rows := make([]data.Row, len(part))
+		for j, r := range part {
+			nr := make(data.Row, 0, len(r)+1)
+			nr = append(nr, r...)
+			nr = append(nr, udoValue(r, n.UDOCodeHash))
+			rows[j] = nr
+		}
+		return rows
+	})
+	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+// udoValue is the deterministic stand-in body for user-defined operators:
+// a hash of the input row mixed with the UDO code hash, so changing the
+// user's code changes the output (which correctness tests rely on).
+func udoValue(r data.Row, codeHash string) data.Value {
+	h := r.Hash64() ^ data.String_(codeHash).Hash64()
+	return data.Int(int64(h & 0x7fffffffffffffff))
+}
+
+func applyReduce(n *plan.Node, in partitions) (partitions, float64, error) {
+	// Group rows, then append a deterministic per-group value derived
+	// from the group key and the UDO code hash.
+	rows := in.flatten()
+	data.SortRows(rows, n.GroupBy, nil)
+	out := make([]data.Row, len(rows))
+	var groupVal data.Value
+	var prev data.Row
+	for i, r := range rows {
+		if prev == nil || !sameKey(prev, r, n.GroupBy) {
+			key := make([]data.Value, len(n.GroupBy))
+			for k, g := range n.GroupBy {
+				key[k] = r[g]
+			}
+			h := data.Row(key).Hash64() ^ data.String_(n.UDOCodeHash).Hash64()
+			groupVal = data.Int(int64(h & 0x7fffffffffffffff))
+			prev = r
+		}
+		nr := make(data.Row, 0, len(r)+1)
+		nr = append(nr, r...)
+		nr = append(nr, groupVal)
+		out[i] = nr
+	}
+	return partitions{out}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+}
+
+func sameKey(a, b data.Row, keys []int) bool {
+	for _, k := range keys {
+		if !data.Equal(a[k], b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) (partitions, float64, error) {
+	// Enforce the mined physical design on the view copy.
+	viewParts := enforceDesign(in, n.MatProps)
+	var rows int64
+	for _, p := range viewParts {
+		rows += int64(len(p))
+	}
+	v := &storage.View{
+		Path:          n.MatPath,
+		PreciseSig:    n.MatPreciseSig,
+		NormSig:       n.MatNormSig,
+		ProducerJobID: st.job,
+		CreatedAt:     st.now,
+		ExpiresAt:     1<<62 - 1, // runtime sets real expiry from the analyzer
+		Schema:        n.Schema(),
+		Props:         n.MatProps,
+		Partitions:    viewParts,
+	}
+	if err := e.Store.Write(v); err != nil {
+		return nil, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
+	}
+	if e.OnViewMaterialized != nil {
+		e.OnViewMaterialized(v)
+	}
+	st.res.MaterializedPaths = append(st.res.MaterializedPaths, n.MatPath)
+	return in, OperatorCost(n.Kind, 0, rows, in.bytes()), nil
+}
+
+// enforceDesign lays rows out according to the view's physical design:
+// hash or range partitioning on the design columns and per-partition sort
+// order.
+func enforceDesign(in partitions, props plan.PhysicalProps) [][]data.Row {
+	var parts partitions
+	switch props.Part.Kind {
+	case plan.PartRange:
+		count := props.Part.Count
+		if count < 1 {
+			count = len(in)
+			if count < 1 {
+				count = 1
+			}
+		}
+		rows := in.flatten()
+		keys := append([]int(nil), props.Part.Cols...)
+		if len(rows) > 0 {
+			for i := range rows[0] {
+				keys = append(keys, i)
+			}
+		}
+		data.SortRows(rows, keys, nil)
+		parts = make(partitions, count)
+		per := (len(rows) + count - 1) / count
+		for i := 0; i < count; i++ {
+			lo, hi := i*per, (i+1)*per
+			if lo > len(rows) {
+				lo = len(rows)
+			}
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			parts[i] = rows[lo:hi]
+		}
+	case plan.PartHash:
+		count := props.Part.Count
+		if count < 1 {
+			count = len(in)
+			if count < 1 {
+				count = 1
+			}
+		}
+		parts = make(partitions, count)
+		for _, p := range in {
+			for _, r := range p {
+				i := int(r.Hash64(props.Part.Cols...) % uint64(count))
+				parts[i] = append(parts[i], r)
+			}
+		}
+	case plan.PartSingleton:
+		parts = partitions{in.flatten()}
+	default:
+		parts = make(partitions, len(in))
+		for i, p := range in {
+			parts[i] = append([]data.Row(nil), p...)
+		}
+	}
+	if len(props.Sort.Cols) > 0 {
+		for _, p := range parts {
+			data.SortRows(p, props.Sort.Cols, props.Sort.Desc)
+		}
+	}
+	return parts
+}

@@ -1,0 +1,475 @@
+// Package expr implements the scalar expression trees that appear inside
+// plan operators: column references, constants, recurring parameters,
+// arithmetic and boolean operators, built-in functions, and scalar UDFs.
+//
+// Expressions carry two canonical encodings used by the signature layer:
+// a precise encoding that includes recurring parameter values and UDF code
+// hashes, and a normalized encoding that strips recurring deltas so the same
+// script template hashes identically across recurring instances (paper §3).
+package expr
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"cloudviews/internal/data"
+)
+
+// Mode selects which canonical encoding Encode emits.
+type Mode int
+
+// Encoding modes.
+const (
+	// Precise encodes every run-specific detail: parameter values and UDF
+	// code hashes. Two subgraphs with equal precise encodings compute the
+	// same result on the same inputs.
+	Precise Mode = iota
+	// Normalized strips recurring deltas (parameter values) so recurring
+	// instances of the same script template encode identically.
+	Normalized
+)
+
+// Expr is a scalar expression over a row.
+type Expr interface {
+	// Eval evaluates the expression against a row.
+	Eval(row data.Row) data.Value
+	// Encode appends the canonical encoding in the given mode.
+	Encode(w *bytes.Buffer, mode Mode)
+	// ResultKind infers the static result kind given the input schema.
+	ResultKind(schema data.Schema) data.Kind
+	// String renders the expression for debugging and plan display.
+	String() string
+}
+
+// Col references an input column by position. Name is carried for display
+// only; the encoding uses the index so column renames don't break matching.
+type Col struct {
+	Index int
+	Name  string
+}
+
+// C is shorthand for a column reference.
+func C(index int, name string) *Col { return &Col{Index: index, Name: name} }
+
+// Eval implements Expr.
+func (c *Col) Eval(row data.Row) data.Value { return row[c.Index] }
+
+// Encode implements Expr.
+func (c *Col) Encode(w *bytes.Buffer, _ Mode) {
+	fmt.Fprintf(w, "(col %d)", c.Index)
+}
+
+// ResultKind implements Expr.
+func (c *Col) ResultKind(schema data.Schema) data.Kind {
+	if c.Index >= 0 && c.Index < len(schema) {
+		return schema[c.Index].Kind
+	}
+	return data.KindNull
+}
+
+// String implements Expr.
+func (c *Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Const is a literal constant. Constants are part of the script template,
+// so they appear in both precise and normalized encodings.
+type Const struct {
+	V data.Value
+}
+
+// Lit is shorthand for a constant.
+func Lit(v data.Value) *Const { return &Const{V: v} }
+
+// Eval implements Expr.
+func (c *Const) Eval(_ data.Row) data.Value { return c.V }
+
+// Encode implements Expr.
+func (c *Const) Encode(w *bytes.Buffer, _ Mode) {
+	fmt.Fprintf(w, "(const %s %s)", c.V.K, c.V)
+}
+
+// ResultKind implements Expr.
+func (c *Const) ResultKind(_ data.Schema) data.Kind { return c.V.K }
+
+// String implements Expr.
+func (c *Const) String() string { return c.V.String() }
+
+// Param is a recurring parameter: a value bound per recurring instance
+// (dates, run ids, cut-off timestamps). The normalized encoding keeps only
+// the parameter name; the precise encoding includes the bound value. This
+// is the heart of the normalized-vs-precise signature split of paper §3.
+type Param struct {
+	Name string
+	V    data.Value
+}
+
+// P is shorthand for a bound recurring parameter.
+func P(name string, v data.Value) *Param { return &Param{Name: name, V: v} }
+
+// Eval implements Expr.
+func (p *Param) Eval(_ data.Row) data.Value { return p.V }
+
+// Encode implements Expr.
+func (p *Param) Encode(w *bytes.Buffer, mode Mode) {
+	if mode == Normalized {
+		fmt.Fprintf(w, "(param @%s)", p.Name)
+		return
+	}
+	fmt.Fprintf(w, "(param @%s %s %s)", p.Name, p.V.K, p.V)
+}
+
+// ResultKind implements Expr.
+func (p *Param) ResultKind(_ data.Schema) data.Kind { return p.V.K }
+
+// String implements Expr.
+func (p *Param) String() string { return "@" + p.Name + "=" + p.V.String() }
+
+// Op enumerates binary operators.
+type Op int
+
+// Binary operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var opNames = [...]string{"+", "-", "*", "/", "%", "=", "!=", "<", "<=", ">", ">=", "and", "or"}
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// B is shorthand for a binary operation.
+func B(op Op, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Eq builds l = r.
+func Eq(l, r Expr) *Bin { return B(OpEq, l, r) }
+
+// And builds l AND r.
+func And(l, r Expr) *Bin { return B(OpAnd, l, r) }
+
+// Eval implements Expr.
+func (b *Bin) Eval(row data.Row) data.Value {
+	l := b.L.Eval(row)
+	r := b.R.Eval(row)
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return evalArith(b.Op, l, r)
+	case OpEq:
+		return data.Bool(data.Equal(l, r))
+	case OpNe:
+		return data.Bool(!data.Equal(l, r))
+	case OpLt:
+		return data.Bool(data.Compare(l, r) < 0)
+	case OpLe:
+		return data.Bool(data.Compare(l, r) <= 0)
+	case OpGt:
+		return data.Bool(data.Compare(l, r) > 0)
+	case OpGe:
+		return data.Bool(data.Compare(l, r) >= 0)
+	case OpAnd:
+		return data.Bool(l.Truth() && r.Truth())
+	case OpOr:
+		return data.Bool(l.Truth() || r.Truth())
+	default:
+		return data.Null()
+	}
+}
+
+func evalArith(op Op, l, r data.Value) data.Value {
+	if l.IsNull() || r.IsNull() {
+		return data.Null()
+	}
+	if l.K == data.KindFloat || r.K == data.KindFloat {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case OpAdd:
+			return data.Float(lf + rf)
+		case OpSub:
+			return data.Float(lf - rf)
+		case OpMul:
+			return data.Float(lf * rf)
+		case OpDiv:
+			if rf == 0 {
+				return data.Null()
+			}
+			return data.Float(lf / rf)
+		case OpMod:
+			return data.Null()
+		}
+	}
+	li, ri := l.AsInt(), r.AsInt()
+	switch op {
+	case OpAdd:
+		return data.Int(li + ri)
+	case OpSub:
+		return data.Int(li - ri)
+	case OpMul:
+		return data.Int(li * ri)
+	case OpDiv:
+		if ri == 0 {
+			return data.Null()
+		}
+		return data.Int(li / ri)
+	case OpMod:
+		if ri == 0 {
+			return data.Null()
+		}
+		return data.Int(li % ri)
+	}
+	return data.Null()
+}
+
+// Encode implements Expr.
+func (b *Bin) Encode(w *bytes.Buffer, mode Mode) {
+	fmt.Fprintf(w, "(%s ", b.Op)
+	b.L.Encode(w, mode)
+	w.WriteByte(' ')
+	b.R.Encode(w, mode)
+	w.WriteByte(')')
+}
+
+// ResultKind implements Expr.
+func (b *Bin) ResultKind(schema data.Schema) data.Kind {
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if b.L.ResultKind(schema) == data.KindFloat || b.R.ResultKind(schema) == data.KindFloat {
+			return data.KindFloat
+		}
+		return data.KindInt
+	default:
+		return data.KindBool
+	}
+}
+
+// String implements Expr.
+func (b *Bin) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n *Not) Eval(row data.Row) data.Value { return data.Bool(!n.E.Eval(row).Truth()) }
+
+// Encode implements Expr.
+func (n *Not) Encode(w *bytes.Buffer, mode Mode) {
+	w.WriteString("(not ")
+	n.E.Encode(w, mode)
+	w.WriteByte(')')
+}
+
+// ResultKind implements Expr.
+func (n *Not) ResultKind(_ data.Schema) data.Kind { return data.KindBool }
+
+// String implements Expr.
+func (n *Not) String() string { return "not " + n.E.String() }
+
+// Func is a built-in scalar function call.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+// F is shorthand for a function call.
+func F(name string, args ...Expr) *Func { return &Func{Name: name, Args: args} }
+
+// Eval implements Expr.
+func (f *Func) Eval(row data.Row) data.Value {
+	args := make([]data.Value, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.Eval(row)
+	}
+	return evalFunc(f.Name, args)
+}
+
+func evalFunc(name string, args []data.Value) data.Value {
+	switch name {
+	case "upper":
+		return data.String_(strings.ToUpper(args[0].S))
+	case "lower":
+		return data.String_(strings.ToLower(args[0].S))
+	case "len":
+		return data.Int(int64(len(args[0].S)))
+	case "concat":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(a.String())
+		}
+		return data.String_(sb.String())
+	case "substr":
+		s := args[0].S
+		start := int(args[1].AsInt())
+		n := int(args[2].AsInt())
+		if start < 0 || start >= len(s) || n <= 0 {
+			return data.String_("")
+		}
+		end := start + n
+		if end > len(s) {
+			end = len(s)
+		}
+		return data.String_(s[start:end])
+	case "abs":
+		if args[0].K == data.KindFloat {
+			f := args[0].F
+			if f < 0 {
+				f = -f
+			}
+			return data.Float(f)
+		}
+		i := args[0].AsInt()
+		if i < 0 {
+			i = -i
+		}
+		return data.Int(i)
+	case "year":
+		// Approximate civil year from epoch days; exactness is irrelevant
+		// to reuse semantics, determinism is what matters.
+		return data.Int(1970 + args[0].AsInt()/365)
+	case "month":
+		return data.Int(1 + (args[0].AsInt()/30)%12)
+	case "dayofweek":
+		return data.Int((4 + args[0].AsInt()) % 7)
+	case "hash":
+		return data.Int(int64(args[0].Hash64() & 0x7fffffffffffffff))
+	case "if":
+		if args[0].Truth() {
+			return args[1]
+		}
+		return args[2]
+	default:
+		return data.Null()
+	}
+}
+
+// Encode implements Expr.
+func (f *Func) Encode(w *bytes.Buffer, mode Mode) {
+	fmt.Fprintf(w, "(fn %s", f.Name)
+	for _, a := range f.Args {
+		w.WriteByte(' ')
+		a.Encode(w, mode)
+	}
+	w.WriteByte(')')
+}
+
+// ResultKind implements Expr.
+func (f *Func) ResultKind(schema data.Schema) data.Kind {
+	switch f.Name {
+	case "upper", "lower", "concat", "substr":
+		return data.KindString
+	case "len", "year", "month", "dayofweek", "hash":
+		return data.KindInt
+	case "abs":
+		if len(f.Args) > 0 {
+			return f.Args[0].ResultKind(schema)
+		}
+		return data.KindInt
+	case "if":
+		if len(f.Args) == 3 {
+			return f.Args[1].ResultKind(schema)
+		}
+		return data.KindNull
+	default:
+		return data.KindNull
+	}
+}
+
+// String implements Expr.
+func (f *Func) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// UDF is a scalar user-defined function. Name identifies the function in
+// the user's library; CodeHash fingerprints the implementation (and its
+// external libraries). The precise encoding includes CodeHash — so shipping
+// new UDF code invalidates reuse — while the normalized encoding keeps only
+// the name, matching the paper's treatment of user code (§3, §8).
+type UDF struct {
+	Name     string
+	CodeHash string
+	Args     []Expr
+	// Fn is the executable body. If nil, the UDF evaluates to a
+	// deterministic hash of its arguments and code hash, which is enough
+	// for the simulator: distinct code hashes yield distinct results.
+	Fn func(args []data.Value) data.Value
+}
+
+// Eval implements Expr.
+func (u *UDF) Eval(row data.Row) data.Value {
+	args := make([]data.Value, len(u.Args))
+	for i, a := range u.Args {
+		args[i] = a.Eval(row)
+	}
+	if u.Fn != nil {
+		return u.Fn(args)
+	}
+	h := data.Row(args).Hash64()
+	h ^= data.String_(u.CodeHash).Hash64()
+	return data.Int(int64(h & 0x7fffffffffffffff))
+}
+
+// Encode implements Expr.
+func (u *UDF) Encode(w *bytes.Buffer, mode Mode) {
+	if mode == Precise {
+		fmt.Fprintf(w, "(udf %s #%s", u.Name, u.CodeHash)
+	} else {
+		fmt.Fprintf(w, "(udf %s", u.Name)
+	}
+	for _, a := range u.Args {
+		w.WriteByte(' ')
+		a.Encode(w, mode)
+	}
+	w.WriteByte(')')
+}
+
+// ResultKind implements Expr.
+func (u *UDF) ResultKind(_ data.Schema) data.Kind { return data.KindInt }
+
+// String implements Expr.
+func (u *UDF) String() string {
+	parts := make([]string, len(u.Args))
+	for i, a := range u.Args {
+		parts[i] = a.String()
+	}
+	return "udf:" + u.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// EncodeString returns the canonical encoding of e in the given mode.
+func EncodeString(e Expr, mode Mode) string {
+	var b bytes.Buffer
+	e.Encode(&b, mode)
+	return b.String()
+}

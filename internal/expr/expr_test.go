@@ -1,0 +1,303 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/data"
+)
+
+var testSchema = data.Schema{
+	{Name: "a", Kind: data.KindInt},
+	{Name: "s", Kind: data.KindString},
+	{Name: "f", Kind: data.KindFloat},
+	{Name: "d", Kind: data.KindDate},
+}
+
+var testRow = data.Row{data.Int(10), data.String_("Hello"), data.Float(2.5), data.Date(365)}
+
+func TestColAndConst(t *testing.T) {
+	if got := C(0, "a").Eval(testRow); got.AsInt() != 10 {
+		t.Errorf("col eval = %v", got)
+	}
+	if got := Lit(data.Int(7)).Eval(testRow); got.AsInt() != 7 {
+		t.Errorf("const eval = %v", got)
+	}
+	if C(1, "s").ResultKind(testSchema) != data.KindString {
+		t.Error("col kind wrong")
+	}
+	if Lit(data.Float(1)).ResultKind(testSchema) != data.KindFloat {
+		t.Error("const kind wrong")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{B(OpAdd, Lit(data.Int(2)), Lit(data.Int(3))), data.Int(5)},
+		{B(OpSub, Lit(data.Int(2)), Lit(data.Int(3))), data.Int(-1)},
+		{B(OpMul, Lit(data.Int(4)), Lit(data.Float(0.5))), data.Float(2)},
+		{B(OpDiv, Lit(data.Int(7)), Lit(data.Int(2))), data.Int(3)},
+		{B(OpDiv, Lit(data.Int(7)), Lit(data.Int(0))), data.Null()},
+		{B(OpDiv, Lit(data.Float(1)), Lit(data.Float(0))), data.Null()},
+		{B(OpMod, Lit(data.Int(7)), Lit(data.Int(4))), data.Int(3)},
+		{B(OpMod, Lit(data.Int(7)), Lit(data.Int(0))), data.Null()},
+		{B(OpAdd, Lit(data.Null()), Lit(data.Int(1))), data.Null()},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(testRow); !data.Equal(got, c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(C(0, "a"), Lit(data.Int(10))), true},
+		{B(OpNe, C(0, "a"), Lit(data.Int(10))), false},
+		{B(OpLt, Lit(data.Int(1)), Lit(data.Int(2))), true},
+		{B(OpLe, Lit(data.Int(2)), Lit(data.Int(2))), true},
+		{B(OpGt, Lit(data.Float(2.5)), Lit(data.Int(2))), true},
+		{B(OpGe, Lit(data.Int(1)), Lit(data.Int(2))), false},
+		{And(Lit(data.Bool(true)), Lit(data.Bool(true))), true},
+		{And(Lit(data.Bool(true)), Lit(data.Bool(false))), false},
+		{B(OpOr, Lit(data.Bool(false)), Lit(data.Bool(true))), true},
+		{(&Not{Lit(data.Bool(false))}), true},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(testRow).Truth(); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{F("upper", C(1, "s")), data.String_("HELLO")},
+		{F("lower", C(1, "s")), data.String_("hello")},
+		{F("len", C(1, "s")), data.Int(5)},
+		{F("substr", C(1, "s"), Lit(data.Int(1)), Lit(data.Int(3))), data.String_("ell")},
+		{F("substr", C(1, "s"), Lit(data.Int(3)), Lit(data.Int(99))), data.String_("lo")},
+		{F("substr", C(1, "s"), Lit(data.Int(-1)), Lit(data.Int(2))), data.String_("")},
+		{F("concat", C(1, "s"), Lit(data.String_("!"))), data.String_("Hello!")},
+		{F("abs", Lit(data.Int(-5))), data.Int(5)},
+		{F("abs", Lit(data.Float(-2.5))), data.Float(2.5)},
+		{F("year", C(3, "d")), data.Int(1971)},
+		{F("if", Lit(data.Bool(true)), Lit(data.Int(1)), Lit(data.Int(2))), data.Int(1)},
+		{F("if", Lit(data.Bool(false)), Lit(data.Int(1)), Lit(data.Int(2))), data.Int(2)},
+		{F("nosuchfn"), data.Null()},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(testRow)
+		if !(got.IsNull() && c.want.IsNull()) && !data.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestParamEncodingModes(t *testing.T) {
+	p1 := P("startDate", data.Date(17000))
+	p2 := P("startDate", data.Date(17001))
+	if EncodeString(p1, Normalized) != EncodeString(p2, Normalized) {
+		t.Error("normalized encodings of same param name should match")
+	}
+	if EncodeString(p1, Precise) == EncodeString(p2, Precise) {
+		t.Error("precise encodings with different values should differ")
+	}
+	p3 := P("endDate", data.Date(17000))
+	if EncodeString(p1, Normalized) == EncodeString(p3, Normalized) {
+		t.Error("different param names should differ even normalized")
+	}
+}
+
+func TestUDFEncodingAndEval(t *testing.T) {
+	u1 := &UDF{Name: "clean", CodeHash: "v1", Args: []Expr{C(0, "a")}}
+	u2 := &UDF{Name: "clean", CodeHash: "v2", Args: []Expr{C(0, "a")}}
+	if EncodeString(u1, Normalized) != EncodeString(u2, Normalized) {
+		t.Error("normalized UDF encoding should ignore code hash")
+	}
+	if EncodeString(u1, Precise) == EncodeString(u2, Precise) {
+		t.Error("precise UDF encoding must include code hash")
+	}
+	// Default body: deterministic, code-hash sensitive.
+	r1 := u1.Eval(testRow)
+	r1b := u1.Eval(testRow)
+	r2 := u2.Eval(testRow)
+	if !data.Equal(r1, r1b) {
+		t.Error("UDF default body not deterministic")
+	}
+	if data.Equal(r1, r2) {
+		t.Error("different code hashes should change default UDF output")
+	}
+	// Custom body wins.
+	u3 := &UDF{Name: "c", CodeHash: "h", Fn: func(_ []data.Value) data.Value { return data.Int(99) }}
+	if u3.Eval(testRow).AsInt() != 99 {
+		t.Error("custom UDF body not used")
+	}
+}
+
+func TestEncodeDistinguishesStructure(t *testing.T) {
+	pairs := [][2]Expr{
+		{B(OpAdd, C(0, ""), C(1, "")), B(OpAdd, C(1, ""), C(0, ""))},
+		{B(OpAdd, C(0, ""), C(1, "")), B(OpSub, C(0, ""), C(1, ""))},
+		{Lit(data.Int(1)), Lit(data.Int(2))},
+		{Lit(data.Int(1)), Lit(data.Float(1))},
+		{F("upper", C(0, "")), F("lower", C(0, ""))},
+		{C(0, "x"), C(1, "x")},
+	}
+	for _, p := range pairs {
+		if EncodeString(p[0], Precise) == EncodeString(p[1], Precise) {
+			t.Errorf("distinct expressions encode identically: %s vs %s", p[0], p[1])
+		}
+	}
+	// Column names must NOT affect encodings.
+	if EncodeString(C(2, "x"), Precise) != EncodeString(C(2, "y"), Precise) {
+		t.Error("column name leaked into encoding")
+	}
+}
+
+func TestResultKinds(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want data.Kind
+	}{
+		{B(OpAdd, C(0, "a"), C(0, "a")), data.KindInt},
+		{B(OpAdd, C(0, "a"), C(2, "f")), data.KindFloat},
+		{Eq(C(0, "a"), C(0, "a")), data.KindBool},
+		{F("upper", C(1, "s")), data.KindString},
+		{F("len", C(1, "s")), data.KindInt},
+		{F("abs", C(2, "f")), data.KindFloat},
+		{&Not{Lit(data.Bool(true))}, data.KindBool},
+		{P("d", data.Date(1)), data.KindDate},
+		{&UDF{Name: "u"}, data.KindInt},
+	}
+	for _, c := range cases {
+		if got := c.e.ResultKind(testSchema); got != c.want {
+			t.Errorf("%s kind = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random expression of bounded depth over testSchema's
+// integer column, for property testing determinism of Eval and Encode.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return C(0, "a")
+		case 1:
+			return Lit(data.Int(r.Int63n(100)))
+		default:
+			return P("p", data.Int(r.Int63n(100)))
+		}
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpEq, OpLt}
+	return B(ops[r.Intn(len(ops))], randomExpr(r, depth-1), randomExpr(r, depth-1))
+}
+
+func TestEvalDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4)
+		row := data.Row{data.Int(r.Int63n(1000))}
+		a, b := e.Eval(row), e.Eval(row)
+		if !data.Equal(a, b) && !(a.IsNull() && b.IsNull()) {
+			return false
+		}
+		// Encoding is stable across calls and modes are self-consistent.
+		return EncodeString(e, Precise) == EncodeString(e, Precise) &&
+			EncodeString(e, Normalized) == EncodeString(e, Normalized)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Eq(C(0, "a"), P("lo", data.Int(5))), B(OpLt, C(2, "f"), Lit(data.Float(9))))
+	if e.String() == "" {
+		t.Error("empty render")
+	}
+	if got := B(OpAdd, C(0, "a"), Lit(data.Int(1))).String(); got != "(a + 1)" {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestMoreFunctionsAndRenderings(t *testing.T) {
+	// Date helper functions.
+	if got := F("month", Lit(data.Date(65))).Eval(testRow); got.AsInt() != 3 {
+		t.Errorf("month = %v", got)
+	}
+	if got := F("dayofweek", Lit(data.Date(0))).Eval(testRow); got.AsInt() != 4 { // 1970-01-01 was Thursday
+		t.Errorf("dayofweek = %v", got)
+	}
+	// hash is deterministic and non-negative.
+	h1 := F("hash", Lit(data.String_("x"))).Eval(testRow)
+	h2 := F("hash", Lit(data.String_("x"))).Eval(testRow)
+	if !data.Equal(h1, h2) || h1.AsInt() < 0 {
+		t.Errorf("hash = %v/%v", h1, h2)
+	}
+	// Not rendering and encode.
+	n := &Not{Lit(data.Bool(true))}
+	if n.String() != "not true" {
+		t.Errorf("Not render = %q", n.String())
+	}
+	if EncodeString(n, Precise) != "(not (const bool true))" {
+		t.Errorf("Not encode = %q", EncodeString(n, Precise))
+	}
+	// Bad-arity `if` has null kind; abs with no args defaults.
+	if (&Func{Name: "if"}).ResultKind(testSchema) != data.KindNull {
+		t.Error("bad-arity if kind")
+	}
+	if (&Func{Name: "abs"}).ResultKind(testSchema) != data.KindInt {
+		t.Error("argless abs kind")
+	}
+	// Renderings for Func, UDF, Param, unnamed Col.
+	if got := F("len", C(1, "s")).String(); got != "len(s)" {
+		t.Errorf("func render = %q", got)
+	}
+	u := &UDF{Name: "clean", CodeHash: "h", Args: []Expr{C(0, "a")}}
+	if u.String() != "udf:clean(a)" {
+		t.Errorf("udf render = %q", u.String())
+	}
+	if P("x", data.Int(3)).String() != "@x=3" {
+		t.Errorf("param render = %q", P("x", data.Int(3)).String())
+	}
+	if C(4, "").String() != "$4" {
+		t.Errorf("anon col render = %q", C(4, "").String())
+	}
+	if C(99, "oob").ResultKind(testSchema) != data.KindNull {
+		t.Error("out-of-range col kind")
+	}
+	// Op fallback strings.
+	if Op(99).String() == "" || data.Kind(99).String() == "" {
+		t.Error("fallback strings empty")
+	}
+}
+
+func TestArithmeticFloatPaths(t *testing.T) {
+	// Float mod is undefined -> NULL; float sub/arith paths.
+	if got := B(OpMod, Lit(data.Float(7)), Lit(data.Float(2))).Eval(testRow); !got.IsNull() {
+		t.Errorf("float mod = %v", got)
+	}
+	if got := B(OpSub, Lit(data.Float(5)), Lit(data.Int(2))).Eval(testRow); got.AsFloat() != 3 {
+		t.Errorf("float sub = %v", got)
+	}
+	if got := B(OpDiv, Lit(data.Float(5)), Lit(data.Int(2))).Eval(testRow); got.AsFloat() != 2.5 {
+		t.Errorf("float div = %v", got)
+	}
+	// Unknown binary op evaluates to NULL and renders via fallback.
+	weird := B(Op(99), Lit(data.Int(1)), Lit(data.Int(1)))
+	if got := weird.Eval(testRow); !got.IsNull() {
+		t.Errorf("unknown op = %v", got)
+	}
+}

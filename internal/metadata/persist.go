@@ -1,0 +1,77 @@
+package metadata
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// persist.go makes the service state durable. The production metadata
+// service is backed by AzureSQL, so annotations and view registrations
+// survive restarts; here the same durability comes from a JSON snapshot.
+// Build locks are deliberately NOT persisted: a restart behaves like lock
+// expiry — in-flight builders re-propose, and the fault-tolerance path of
+// §6.1 takes over.
+
+type snapshot struct {
+	Format      string
+	Version     int
+	Annotations []Annotation
+	Views       []ViewInfo
+	OfflineVCs  []string
+}
+
+const (
+	snapshotFormat  = "cloudviews-metadata"
+	snapshotVersion = 1
+)
+
+// Save writes a snapshot of the service's durable state.
+func (s *Service) Save(w io.Writer) error {
+	s.mu.Lock()
+	snap := snapshot{Format: snapshotFormat, Version: snapshotVersion}
+	for _, a := range s.annotations {
+		snap.Annotations = append(snap.Annotations, *a)
+	}
+	for _, v := range s.views {
+		snap.Views = append(snap.Views, *v)
+	}
+	for vc := range s.offlineVCs {
+		snap.OfflineVCs = append(snap.OfflineVCs, vc)
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Annotations, func(i, j int) bool { return snap.Annotations[i].NormSig < snap.Annotations[j].NormSig })
+	sort.Slice(snap.Views, func(i, j int) bool { return snap.Views[i].PreciseSig < snap.Views[j].PreciseSig })
+	sort.Strings(snap.OfflineVCs)
+
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("metadata: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot written by Save into a fresh service.
+func Restore(r io.Reader) (*Service, error) {
+	var snap snapshot
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("metadata: restore: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("metadata: not a metadata snapshot (format %q)", snap.Format)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("metadata: unsupported snapshot version %d", snap.Version)
+	}
+	s := NewService()
+	s.LoadAnalysis(snap.Annotations)
+	for _, v := range snap.Views {
+		s.ReportMaterialized(v)
+	}
+	for _, vc := range snap.OfflineVCs {
+		s.SetOfflineVC(vc, true)
+	}
+	return s, nil
+}

@@ -1,0 +1,265 @@
+// Package metadata implements the CloudViews metadata service (paper §6.1
+// and Figure 9): the lookup and coordination point between the analyzer
+// and the runtime.
+//
+// The service stores the analyzer's annotations (normalized signatures of
+// selected views with their mined physical design, expiry, and runtime),
+// serves one inverted-index lookup per job, arbitrates exclusive build
+// locks for build-build synchronization, and tracks which views are
+// materialized and available. The production system backs this with
+// AzureSQL; here the same protocol runs over an in-process store, with an
+// optional net/http front end in this package for service-style deployment.
+package metadata
+
+import (
+	"sort"
+	"sync"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+// Annotation is one analyzer-selected overlapping computation: the promise
+// that materializing subgraphs with this normalized signature pays off.
+type Annotation struct {
+	NormSig string
+	// Tags are the inverted-index keys extracted from job metadata of the
+	// jobs this computation occurred in (normalized input names and
+	// template IDs). A job's lookup returns the union of annotations
+	// matching any of its tags — possibly with false positives, which the
+	// optimizer filters by actual signature match (§6.1).
+	Tags []string
+	// Props is the elected physical design for the materialized view (§5.3).
+	Props plan.PhysicalProps
+	// AvgRuntime is the mined average runtime of the subgraph; it sets
+	// the expiry of the exclusive build lock (§6.1).
+	AvgRuntime float64
+	// ExpiryDelta is the view lifetime in instance units, from input
+	// lineage (§5.4).
+	ExpiryDelta int64
+	// Utility and StorageBytes are reported for admin dashboards.
+	Utility      float64
+	StorageBytes int64
+	// Frequency is the observed occurrence count in the analysis window.
+	Frequency int
+	// Offline marks annotations for VCs configured to pre-materialize
+	// views ahead of the workload instead of online (§6.2).
+	Offline bool
+}
+
+// ViewInfo describes a materialized, available view.
+type ViewInfo struct {
+	PreciseSig    string
+	NormSig       string
+	Path          string
+	Schema        data.Schema
+	Props         plan.PhysicalProps
+	Rows          int64
+	Bytes         int64
+	ProducerJobID string
+	ExpiresAt     int64
+}
+
+type buildLock struct {
+	jobID     string
+	expiresAt int64
+}
+
+// Service is the concurrent metadata store. The zero value is not usable;
+// call NewService.
+type Service struct {
+	mu          sync.Mutex
+	annotations map[string]*Annotation // by normalized signature
+	tagIndex    map[string][]string    // tag -> normalized signatures
+	locks       map[string]buildLock   // by precise signature
+	views       map[string]*ViewInfo   // by precise signature
+	offlineVCs  map[string]bool        // VCs configured for offline materialization (§6.2)
+
+	// Counters for the overheads evaluation (§7.3).
+	lookups   int64
+	proposals int64
+}
+
+// NewService returns an empty metadata service.
+func NewService() *Service {
+	return &Service{
+		annotations: map[string]*Annotation{},
+		tagIndex:    map[string][]string{},
+		locks:       map[string]buildLock{},
+		views:       map[string]*ViewInfo{},
+		offlineVCs:  map[string]bool{},
+	}
+}
+
+// SetOfflineVC configures a VC for offline view materialization (§6.2):
+// annotations served to that VC's jobs come back marked Offline, so the
+// runtime pre-materializes them ahead of the workload instead of inline.
+func (s *Service) SetOfflineVC(vc string, offline bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if offline {
+		s.offlineVCs[vc] = true
+	} else {
+		delete(s.offlineVCs, vc)
+	}
+}
+
+// LoadAnalysis installs the analyzer's output, replacing all previous
+// annotations and rebuilding the inverted tag index. Materialized views
+// and in-flight locks are preserved: reloading analysis must not orphan
+// views that jobs are already using.
+func (s *Service) LoadAnalysis(anns []Annotation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.annotations = make(map[string]*Annotation, len(anns))
+	s.tagIndex = map[string][]string{}
+	for i := range anns {
+		a := anns[i]
+		s.annotations[a.NormSig] = &a
+		for _, tag := range a.Tags {
+			s.tagIndex[tag] = append(s.tagIndex[tag], a.NormSig)
+		}
+	}
+}
+
+// RelevantViews is the per-job lookup (Figure 9, steps 1–2): it returns
+// every annotation whose tags intersect the job's tags, in one round trip.
+// The result may contain annotations whose signatures do not occur in the
+// job (false positives); the optimizer matches actual signatures. If the
+// requesting job's VC is configured for offline materialization, the
+// returned annotations are marked Offline (§6.2).
+func (s *Service) RelevantViews(vc string, jobTags []string) []Annotation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	offline := s.offlineVCs[vc]
+	seen := map[string]bool{}
+	var out []Annotation
+	for _, tag := range jobTags {
+		for _, sig := range s.tagIndex[tag] {
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			a := *s.annotations[sig]
+			if offline {
+				a.Offline = true
+			}
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NormSig < out[j].NormSig })
+	return out
+}
+
+// Annotation returns the annotation for a normalized signature, if any.
+func (s *Service) Annotation(normSig string) (Annotation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.annotations[normSig]
+	if !ok {
+		return Annotation{}, false
+	}
+	return *a, true
+}
+
+// ProposeMaterialize is the exclusive-lock acquisition (Figure 9, steps
+// 3–4). It succeeds iff no view exists for the precise signature and no
+// unexpired lock is held by another job. The lock expires at
+// now + the annotation's mined average runtime, so a crashed builder
+// cannot block materialization forever (fault tolerance, §6.1).
+func (s *Service) ProposeMaterialize(normSig, preciseSig, jobID string, now int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proposals++
+	if _, exists := s.views[preciseSig]; exists {
+		return false
+	}
+	if l, held := s.locks[preciseSig]; held && l.expiresAt > now && l.jobID != jobID {
+		return false
+	}
+	ttl := int64(60)
+	if a, ok := s.annotations[normSig]; ok && a.AvgRuntime > 0 {
+		ttl = int64(a.AvgRuntime) + 1
+	}
+	s.locks[preciseSig] = buildLock{jobID: jobID, expiresAt: now + ttl}
+	return true
+}
+
+// ReportMaterialized publishes a built view and releases its lock
+// (Figure 9, steps 5–6). Thanks to early materialization (§6.4) the job
+// manager calls this the moment the view's files are sealed, which may be
+// long before the producing job finishes.
+func (s *Service) ReportMaterialized(v ViewInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.locks, v.PreciseSig)
+	vv := v
+	s.views[v.PreciseSig] = &vv
+}
+
+// AbortMaterialize releases a lock held by jobID without publishing a
+// view (builder failed before sealing the files).
+func (s *Service) AbortMaterialize(preciseSig, jobID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.locks[preciseSig]; ok && l.jobID == jobID {
+		delete(s.locks, preciseSig)
+	}
+}
+
+// LookupView returns the available view for a precise signature.
+func (s *Service) LookupView(preciseSig string) (ViewInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[preciseSig]
+	if !ok {
+		return ViewInfo{}, false
+	}
+	return *v, true
+}
+
+// Views returns all available views, ordered by path.
+func (s *Service) Views() []ViewInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ViewInfo, 0, len(s.views))
+	for _, v := range s.views {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// PurgeExpired removes view registrations whose expiry has passed and
+// returns their paths. Per §5.4 the metadata service is cleaned *before*
+// the physical files are deleted, so callers purge here first and then
+// delete from storage.
+func (s *Service) PurgeExpired(now int64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var paths []string
+	for sig, v := range s.views {
+		if v.ExpiresAt <= now {
+			paths = append(paths, v.Path)
+			delete(s.views, sig)
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Unregister removes a specific view registration (admin reclamation).
+func (s *Service) Unregister(preciseSig string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.views, preciseSig)
+}
+
+// Stats reports service counters: annotation count, available views,
+// held locks, lookups served, and proposals handled.
+func (s *Service) Stats() (annotations, views, locks int, lookups, proposals int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.annotations), len(s.views), len(s.locks), s.lookups, s.proposals
+}

@@ -1,0 +1,222 @@
+package optimizer
+
+import (
+	"cloudviews/internal/metadata"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/storage"
+)
+
+// BuildIntent records a view materialization the optimizer injected into
+// the plan; the job manager reports completion against it.
+type BuildIntent struct {
+	PreciseSig string
+	NormSig    string
+	Path       string
+	Props      plan.PhysicalProps
+	// ExpiryDelta is copied from the annotation for the runtime to stamp
+	// an absolute expiry at publication time.
+	ExpiryDelta int64
+}
+
+// Decision summarizes what the optimizer did to a job's plan.
+type Decision struct {
+	// ViewsUsed lists materialized views the final plan reads.
+	ViewsUsed []metadata.ViewInfo
+	// ViewsBuilt lists materializations injected into the plan.
+	ViewsBuilt []BuildIntent
+	// ViewsRejected lists precise signatures of available views the
+	// cost-based check declined (§4 goal 4, §6.3).
+	ViewsRejected []string
+	// EstimatedCost is the estimated cost of the final plan.
+	EstimatedCost float64
+}
+
+// Optimizer is the CloudViews-extended plan search. It consults the
+// metadata service through the API interface, so it works identically
+// against the in-process service and the HTTP client.
+type Optimizer struct {
+	Meta metadata.API
+	Est  *Estimator
+	// MaxMaterializePerJob bounds how many views one job may build
+	// (paper §6.2: "limit the number of views that could be materialized
+	// in a job", adjustable per submission). Zero means no builds.
+	MaxMaterializePerJob int
+}
+
+// Optimize applies the two CloudViews tasks of Figure 10 to the plan:
+//
+//  1. Plan-search view matching (top-down, largest subgraphs first): any
+//     subgraph whose normalized signature has an annotation and whose
+//     precise signature has an available view is replaced by a scan of
+//     that view — if the cost-based check approves.
+//  2. Follow-up optimization (bottom-up, smallest subgraphs first): for
+//     annotated subgraphs not yet materialized, propose materialization
+//     to the metadata service; each successful proposal wraps the
+//     subgraph in a Materialize operator enforcing the mined physical
+//     design, up to the per-job limit.
+//
+// The input plan is never modified; the returned plan shares no mutable
+// state with it. now is the simulated time used for lock acquisition.
+func (o *Optimizer) Optimize(root *plan.Node, jobID string, anns []metadata.Annotation, now int64) (*plan.Node, *Decision) {
+	dec := &Decision{}
+	annByNorm := make(map[string]metadata.Annotation, len(anns))
+	for _, a := range anns {
+		annByNorm[a.NormSig] = a
+	}
+	if len(annByNorm) == 0 {
+		dec.EstimatedCost = o.Est.Estimate(root).Cost
+		return root, dec
+	}
+
+	comp := signature.NewComputer()
+	rewritten := o.matchViews(plan.Clone(root), comp, annByNorm, dec)
+	final := o.injectMaterializations(rewritten, jobID, annByNorm, dec, now)
+	if len(dec.ViewsBuilt) > 0 {
+		// Figure 10's closing step: re-optimize the new plan. The
+		// injected output operators changed the tree, so the plan search
+		// runs once more over it (this is the paper's +28% optimizer-time
+		// cost of creating a view; consuming one shrinks the tree and
+		// costs less than a plain optimization). A scratch decision
+		// absorbs re-detections; only genuinely new matches (a view a
+		// concurrent job published between the passes) are kept.
+		scratch := &Decision{}
+		final = o.matchViews(final, signature.NewComputer(), annByNorm, scratch)
+		dec.ViewsUsed = append(dec.ViewsUsed, scratch.ViewsUsed...)
+	}
+	dec.EstimatedCost = o.Est.Estimate(final).Cost
+	return final, dec
+}
+
+// matchViews is the top-down matching task: it tries the current node
+// before descending, so the largest materialized views win (§6.3).
+func (o *Optimizer) matchViews(n *plan.Node, comp *signature.Computer, anns map[string]metadata.Annotation, dec *Decision) *plan.Node {
+	if n.Kind != plan.OpExtract && n.Kind != plan.OpViewScan && !n.Transparent() {
+		sig := comp.Of(n)
+		if _, ok := anns[sig.Normalized]; ok {
+			if v, ok := o.Meta.LookupView(sig.Precise); ok {
+				if scan := o.tryUseView(n, sig, v, dec); scan != nil {
+					return scan
+				}
+			}
+		}
+	}
+	for i, c := range n.Children {
+		n.Children[i] = o.matchViews(c, comp, anns, dec)
+	}
+	return n
+}
+
+// tryUseView performs the cost-based accept/reject: the view is used only
+// if scanning it (with its *actual* statistics) is estimated cheaper than
+// recomputing the subgraph. Returns the replacement node or nil.
+func (o *Optimizer) tryUseView(n *plan.Node, sig signature.Signature, v metadata.ViewInfo, dec *Decision) *plan.Node {
+	recompute := o.Est.Estimate(n).Cost
+	readCost := ViewReadCost(v.Rows, v.Bytes)
+	if readCost >= recompute {
+		dec.ViewsRejected = append(dec.ViewsRejected, sig.Precise)
+		return nil
+	}
+	scan := plan.ViewScan(v.Path, n.Schema(), sig.Precise, sig.Normalized)
+	scan.ViewRows = v.Rows
+	scan.ViewBytes = v.Bytes
+	dec.ViewsUsed = append(dec.ViewsUsed, v)
+	return scan
+}
+
+// injectMaterializations is the follow-up task: bottom-up (post-order), so
+// smaller subgraphs — which typically overlap more (§6.2) — are proposed
+// first, bounded by the per-job limit.
+func (o *Optimizer) injectMaterializations(root *plan.Node, jobID string, anns map[string]metadata.Annotation, dec *Decision, now int64) *plan.Node {
+	comp := signature.NewComputer()
+	builds := 0
+	return plan.Rewrite(root, func(n *plan.Node) *plan.Node {
+		if n.Kind == plan.OpExtract || n.Kind == plan.OpViewScan ||
+			n.Kind == plan.OpOutput || n.Transparent() {
+			return n
+		}
+		sig := comp.Of(n)
+		ann, ok := anns[sig.Normalized]
+		if !ok {
+			return n
+		}
+		if ann.Offline {
+			// Offline-mode annotations (§6.2) are materialized by the
+			// ahead-of-workload phase, never inline — online jobs only
+			// consume them (handled by the matching task above).
+			return n
+		}
+		if builds >= o.MaxMaterializePerJob {
+			return n
+		}
+		if _, exists := o.Meta.LookupView(sig.Precise); exists {
+			// Already materialized (maybe used above, maybe rejected by
+			// cost); never rebuild.
+			return n
+		}
+		if !o.Meta.ProposeMaterialize(sig.Normalized, sig.Precise, jobID, now) {
+			// Another concurrent job holds the build lock.
+			return n
+		}
+		builds++
+		path := storage.PathFor(sig.Precise, jobID)
+		dec.ViewsBuilt = append(dec.ViewsBuilt, BuildIntent{
+			PreciseSig:  sig.Precise,
+			NormSig:     sig.Normalized,
+			Path:        path,
+			Props:       ann.Props,
+			ExpiryDelta: ann.ExpiryDelta,
+		})
+		return n.Materialize(path, sig.Precise, sig.Normalized, ann.Props)
+	})
+}
+
+// OfflineViewPlans extracts materialize-only plans for annotated subgraphs
+// of root, for VCs configured with offline (ahead-of-workload) view
+// creation (§6.2). Each returned plan computes exactly one view and
+// nothing else; locks are acquired exactly as in the online path.
+func (o *Optimizer) OfflineViewPlans(root *plan.Node, jobID string, anns []metadata.Annotation, now int64) ([]*plan.Node, []BuildIntent) {
+	annByNorm := make(map[string]metadata.Annotation, len(anns))
+	for _, a := range anns {
+		if a.Offline {
+			annByNorm[a.NormSig] = a
+		}
+	}
+	if len(annByNorm) == 0 {
+		return nil, nil
+	}
+	comp := signature.NewComputer()
+	var plans []*plan.Node
+	var intents []BuildIntent
+	seen := map[string]bool{}
+	plan.Walk(root, func(n *plan.Node) {
+		if n.Kind == plan.OpExtract || n.Kind == plan.OpViewScan ||
+			n.Kind == plan.OpOutput || n.Transparent() {
+			return
+		}
+		sig := comp.Of(n)
+		ann, ok := annByNorm[sig.Normalized]
+		if !ok || seen[sig.Precise] {
+			return
+		}
+		seen[sig.Precise] = true
+		if _, exists := o.Meta.LookupView(sig.Precise); exists {
+			return
+		}
+		if !o.Meta.ProposeMaterialize(sig.Normalized, sig.Precise, jobID, now) {
+			return
+		}
+		path := storage.PathFor(sig.Precise, jobID)
+		intents = append(intents, BuildIntent{
+			PreciseSig:  sig.Precise,
+			NormSig:     sig.Normalized,
+			Path:        path,
+			Props:       ann.Props,
+			ExpiryDelta: ann.ExpiryDelta,
+		})
+		plans = append(plans, plan.Clone(n).
+			Materialize(path, sig.Precise, sig.Normalized, ann.Props).
+			Output("__offline__"+sig.Precise))
+	})
+	return plans, intents
+}

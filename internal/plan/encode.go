@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"bytes"
+	"fmt"
+
+	"cloudviews/internal/expr"
+)
+
+// Encode appends the canonical encoding of the subgraph rooted at n.
+//
+// In expr.Precise mode the encoding includes input GUIDs, recurring
+// parameter values, and UDO code hashes — two subgraphs with equal precise
+// encodings compute the same result. In expr.Normalized mode those
+// recurring deltas are stripped, so recurring instances of the same script
+// template encode identically (paper §3).
+//
+// OpViewScan encodes as the signature of the computation it replaced and
+// OpMaterialize encodes as its child, so rewriting a plan to use or build
+// views never changes the encoding of surrounding operators.
+func (n *Node) Encode(w *bytes.Buffer, mode expr.Mode) {
+	if n.Transparent() {
+		// Transparent wrappers: a spooled or materialized computation is
+		// the same computation.
+		n.Children[0].Encode(w, mode)
+		return
+	}
+	if n.Kind == OpExtract || n.Kind == OpViewScan {
+		n.EncodeLocal(w, mode)
+		return
+	}
+	n.EncodeLocal(w, mode)
+	for _, c := range n.Children {
+		w.WriteByte(' ')
+		c.Encode(w, mode)
+	}
+	w.WriteByte(')')
+}
+
+// Transparent reports whether n is invisible to encodings and signatures:
+// its computation is exactly its child's computation.
+func (n *Node) Transparent() bool {
+	return n.Kind == OpMaterialize || n.Kind == OpSpool
+}
+
+// EncodeLocal appends only the node-local portion of the canonical
+// encoding: the operator token and its arguments, without the children.
+// Leaf operators (Extract, ViewScan) emit complete encodings; for all
+// other operators the caller is responsible for the closing parenthesis.
+// The signature layer combines local encodings with child hashes to
+// compute subgraph signatures in O(n) per plan.
+func (n *Node) EncodeLocal(w *bytes.Buffer, mode expr.Mode) {
+	switch n.Kind {
+	case OpExtract:
+		if mode == expr.Precise {
+			fmt.Fprintf(w, "(extract %s @%s)", n.Table, n.GUID)
+		} else {
+			fmt.Fprintf(w, "(extract %s)", n.Table)
+		}
+		return
+	case OpViewScan:
+		if mode == expr.Precise {
+			w.WriteString(n.ViewPreciseSig)
+		} else {
+			w.WriteString(n.ViewNormSig)
+		}
+		return
+	}
+	w.WriteByte('(')
+	w.WriteString(opToken(n.Kind))
+	switch n.Kind {
+	case OpFilter:
+		w.WriteByte(' ')
+		n.Pred.Encode(w, mode)
+	case OpProject:
+		for _, e := range n.Exprs {
+			w.WriteByte(' ')
+			e.Encode(w, mode)
+		}
+	case OpHashJoin, OpMergeJoin:
+		fmt.Fprintf(w, " %v %v", n.LeftKeys, n.RightKeys)
+	case OpHashGbAgg, OpStreamGbAgg:
+		fmt.Fprintf(w, " %v", n.GroupBy)
+		for _, a := range n.Aggs {
+			fmt.Fprintf(w, " (%s %d)", a.Fn, a.Col)
+		}
+	case OpSort:
+		fmt.Fprintf(w, " %v %v", n.SortKeys, n.Desc)
+	case OpExchange:
+		fmt.Fprintf(w, " %s %v %d", n.Part.Kind, n.Part.Cols, n.Part.Count)
+	case OpTop:
+		fmt.Fprintf(w, " %d", n.N)
+	case OpProcess, OpReduce:
+		if mode == expr.Precise {
+			fmt.Fprintf(w, " %s #%s", n.UDOName, n.UDOCodeHash)
+		} else {
+			fmt.Fprintf(w, " %s", n.UDOName)
+		}
+		if n.Kind == OpReduce {
+			fmt.Fprintf(w, " %v", n.GroupBy)
+		}
+	case OpOutput:
+		fmt.Fprintf(w, " %s", n.OutputName)
+	}
+}
+
+// opToken returns the stable token used in canonical encodings. It is
+// decoupled from OpKind.String so renaming display strings can never
+// silently change every signature in a workload repository.
+func opToken(k OpKind) string {
+	switch k {
+	case OpFilter:
+		return "filter"
+	case OpProject:
+		return "project"
+	case OpHashJoin:
+		return "hashjoin"
+	case OpMergeJoin:
+		return "mergejoin"
+	case OpHashGbAgg:
+		return "hashagg"
+	case OpStreamGbAgg:
+		return "streamagg"
+	case OpSort:
+		return "sort"
+	case OpExchange:
+		return "exchange"
+	case OpUnionAll:
+		return "unionall"
+	case OpTop:
+		return "top"
+	case OpProcess:
+		return "process"
+	case OpReduce:
+		return "reduce"
+	case OpOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("op%d", int(k))
+	}
+}
+
+// EncodeString returns the canonical encoding of the subgraph at n.
+func (n *Node) EncodeString(mode expr.Mode) string {
+	var b bytes.Buffer
+	n.Encode(&b, mode)
+	return b.String()
+}

@@ -1,0 +1,174 @@
+// Package report provides the small statistics and tabulation helpers the
+// benchmark harnesses share: percentiles, cumulative distributions, and
+// fixed-width table rendering for regenerating the paper's figures as text.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank
+// on a sorted copy. An empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDFPoint is one point of a cumulative distribution: the fraction of
+// samples with value <= X.
+type CDFPoint struct {
+	X        float64
+	Fraction float64
+}
+
+// CDF evaluates the empirical CDF of xs at each threshold, returning one
+// point per threshold.
+func CDF(xs []float64, thresholds []float64) []CDFPoint {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(thresholds))
+	for i, t := range thresholds {
+		// count of samples <= t
+		n := sort.SearchFloat64s(s, t)
+		for n < len(s) && s[n] <= t {
+			n++
+		}
+		frac := 0.0
+		if len(s) > 0 {
+			frac = float64(n) / float64(len(s))
+		}
+		out[i] = CDFPoint{X: t, Fraction: frac}
+	}
+	return out
+}
+
+// FractionAtLeast returns the fraction of samples >= x.
+func FractionAtLeast(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v >= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionAtMost returns the fraction of samples <= x.
+func FractionAtMost(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// LogThresholds returns thresholds at powers of base covering [lo, hi],
+// the x-axes of the paper's log-scale CDF figures.
+func LogThresholds(lo, hi, base float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi; x *= base {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Table renders rows as a fixed-width text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of cells formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

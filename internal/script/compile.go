@@ -1,0 +1,826 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+	"cloudviews/internal/expr"
+	"cloudviews/internal/plan"
+)
+
+// Params binds recurring parameter names to this instance's values.
+type Params map[string]data.Value
+
+// Compiled is the result of compiling a script: the plans rooted at each
+// OUTPUT statement (most scripts have exactly one).
+type Compiled struct {
+	Outputs []*plan.Node
+	// Params lists the parameter names the script references, sorted by
+	// first use — callers can validate bindings per instance.
+	Params []string
+}
+
+// Root returns the single output plan, or an error if the script has more
+// or fewer than one OUTPUT.
+func (c *Compiled) Root() (*plan.Node, error) {
+	if len(c.Outputs) != 1 {
+		return nil, fmt.Errorf("script: %d OUTPUT statements, want exactly 1", len(c.Outputs))
+	}
+	return c.Outputs[0], nil
+}
+
+// Compile parses src and builds plans against the catalog's current table
+// versions, binding @parameters from params. UDO code versions default to
+// "<name>-v1" unless a PROCESS/REDUCE statement carries VERSION 'x'.
+func Compile(src string, cat *catalog.Catalog, params Params) (*Compiled, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:   toks,
+		cat:    cat,
+		params: params,
+		env:    map[string]*plan.Node{},
+	}
+	return p.script()
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	cat    *catalog.Catalog
+	params Params
+	env    map[string]*plan.Node
+	used   []string // parameter names in first-use order
+	seen   map[string]bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.cur(); t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.cur(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errAt(p.cur(), "expected %q, found %q", op, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errAt(p.cur(), "expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// script := stmt+ EOF
+func (p *parser) script() (*Compiled, error) {
+	out := &Compiled{}
+	for p.cur().kind != tokEOF {
+		if p.acceptKw("OUTPUT") {
+			node, err := p.outputStmt()
+			if err != nil {
+				return nil, err
+			}
+			out.Outputs = append(out.Outputs, node)
+			continue
+		}
+		if err := p.assignStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if len(out.Outputs) == 0 {
+		return nil, errAt(p.cur(), "script has no OUTPUT statement")
+	}
+	out.Params = p.used
+	return out, nil
+}
+
+// outputStmt := 'OUTPUT' ident 'TO' ident ';'
+func (p *parser) outputStmt() (*plan.Node, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	node, ok := p.env[src.text]
+	if !ok {
+		return nil, errAt(src, "unknown dataset %q", src.text)
+	}
+	if err := p.expectKw("TO"); err != nil {
+		return nil, err
+	}
+	sink, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	return node.Output(sink.text), nil
+}
+
+// assignStmt := ident '=' opexpr ';'
+func (p *parser) assignStmt() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectOp("="); err != nil {
+		return err
+	}
+	node, err := p.opExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return err
+	}
+	if _, dup := p.env[name.text]; dup {
+		return errAt(name, "dataset %q already defined", name.text)
+	}
+	p.env[name.text] = node
+	return nil
+}
+
+// input resolves a named dataset.
+func (p *parser) input() (*plan.Node, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	node, ok := p.env[t.text]
+	if !ok {
+		return nil, errAt(t, "unknown dataset %q", t.text)
+	}
+	return node, nil
+}
+
+// colIndex resolves a column name in the node's schema.
+func colIndex(n *plan.Node, t token) (int, error) {
+	i := n.Schema().ColumnIndex(t.text)
+	if i < 0 {
+		return 0, errAt(t, "no column %q in (%s)", t.text, n.Schema())
+	}
+	return i, nil
+}
+
+// colList := ident (',' ident)*
+func (p *parser) colList(n *plan.Node) ([]int, error) {
+	var cols []int
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		i, err := colIndex(n, t)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, i)
+		if !p.acceptOp(",") {
+			return cols, nil
+		}
+	}
+}
+
+// opExpr dispatches on the leading keyword.
+func (p *parser) opExpr() (*plan.Node, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return nil, errAt(t, "expected an operator keyword, found %q", t.text)
+	}
+	p.pos++
+	switch t.text {
+	case "EXTRACT":
+		return p.extract()
+	case "FILTER":
+		return p.filter()
+	case "SHUFFLE":
+		return p.shuffle()
+	case "GATHER":
+		in, err := p.input()
+		if err != nil {
+			return nil, err
+		}
+		return in.Gather(), nil
+	case "AGGREGATE":
+		return p.aggregate()
+	case "SELECT":
+		return p.selectStmt()
+	case "JOIN":
+		return p.join()
+	case "SORT":
+		return p.sort()
+	case "TOP":
+		return p.top()
+	case "PROCESS":
+		return p.udo(false)
+	case "REDUCE":
+		return p.udo(true)
+	case "UNION":
+		return p.union()
+	default:
+		return nil, errAt(t, "unexpected keyword %s", t.text)
+	}
+}
+
+// extract := 'EXTRACT' 'FROM' ident
+func (p *parser) extract() (*plan.Node, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := p.cat.Get(t.text)
+	if err != nil {
+		return nil, errAt(t, "unknown table %q", t.text)
+	}
+	return plan.Scan(tab.Name, tab.GUID, tab.Schema), nil
+}
+
+// filter := 'FILTER' ident 'WHERE' expr
+func (p *parser) filter() (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("WHERE"); err != nil {
+		return nil, err
+	}
+	pred, err := p.expr(in)
+	if err != nil {
+		return nil, err
+	}
+	return in.Filter(pred), nil
+}
+
+// shuffle := 'SHUFFLE' ident 'BY' colList ['INTO' number]
+func (p *parser) shuffle() (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("BY"); err != nil {
+		return nil, err
+	}
+	cols, err := p.colList(in)
+	if err != nil {
+		return nil, err
+	}
+	parts := 8
+	if p.acceptKw("INTO") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, errAt(t, "expected partition count, found %q", t.text)
+		}
+		p.pos++
+		parts, err = strconv.Atoi(t.text)
+		if err != nil || parts < 1 {
+			return nil, errAt(t, "bad partition count %q", t.text)
+		}
+	}
+	return in.ShuffleHash(cols, parts), nil
+}
+
+// aggregate := 'AGGREGATE' ident 'BY' colList aggItem (',' aggItem)*
+// An aggItem interleaves with group columns, so we parse: BY collist then
+// a comma-separated list of AGGFN '(' ident ')'.
+func (p *parser) aggregate() (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("BY"); err != nil {
+		return nil, err
+	}
+	cols, err := p.colList(in)
+	if err != nil {
+		return nil, err
+	}
+	var aggs []plan.AggSpec
+	for {
+		t := p.cur()
+		fn, ok := aggFn(t)
+		if !ok {
+			break
+		}
+		p.pos++
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		ct, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ci, err := colIndex(in, ct)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, plan.AggSpec{Fn: fn, Col: ci})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if len(aggs) == 0 {
+		return nil, errAt(p.cur(), "AGGREGATE needs at least one aggregate function")
+	}
+	return in.HashAgg(cols, aggs), nil
+}
+
+func aggFn(t token) (plan.AggFn, bool) {
+	if t.kind != tokKeyword {
+		return 0, false
+	}
+	switch t.text {
+	case "SUM":
+		return plan.AggSum, true
+	case "COUNT":
+		return plan.AggCount, true
+	case "MIN":
+		return plan.AggMin, true
+	case "MAX":
+		return plan.AggMax, true
+	case "AVG":
+		return plan.AggAvg, true
+	}
+	return 0, false
+}
+
+// selectStmt := 'SELECT' selItem (',' selItem)* 'FROM' ident
+// selItem := expr ['AS' ident]
+func (p *parser) selectStmt() (*plan.Node, error) {
+	// The input is named at the end, so record item token spans and
+	// re-parse after resolution. Simpler: scan ahead for FROM.
+	start := p.pos
+	depth := 0
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, errAt(t, "SELECT without FROM")
+		}
+		if t.kind == tokOp && t.text == "(" {
+			depth++
+		}
+		if t.kind == tokOp && t.text == ")" {
+			depth--
+		}
+		if t.kind == tokKeyword && t.text == "FROM" && depth == 0 {
+			break
+		}
+		p.pos++
+	}
+	fromPos := p.pos
+	p.pos++
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	endPos := p.pos
+
+	// Re-parse the item list against the resolved input schema.
+	p.pos = start
+	var names []string
+	var exprs []expr.Expr
+	for {
+		e, err := p.expr(in)
+		if err != nil {
+			return nil, err
+		}
+		name := ""
+		if p.acceptKw("AS") {
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = t.text
+		} else if c, ok := e.(*expr.Col); ok {
+			name = c.Name
+		}
+		if name == "" {
+			name = fmt.Sprintf("c%d", len(names))
+		}
+		names = append(names, name)
+		exprs = append(exprs, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.pos != fromPos {
+		return nil, errAt(p.cur(), "unexpected %q before FROM", p.cur().text)
+	}
+	p.pos = endPos
+	return in.Project(names, exprs), nil
+}
+
+// join := 'JOIN' ident 'WITH' ident 'ON' ident '==' ident (',' ident '==' ident)*
+func (p *parser) join() (*plan.Node, error) {
+	left, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("WITH"); err != nil {
+		return nil, err
+	}
+	right, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	var lk, rk []int
+	for {
+		lt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		li, err := colIndex(left, lt)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("=="); err != nil {
+			return nil, err
+		}
+		rt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ri, err := colIndex(right, rt)
+		if err != nil {
+			return nil, err
+		}
+		lk = append(lk, li)
+		rk = append(rk, ri)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return left.HashJoin(right, lk, rk), nil
+}
+
+// sort := 'SORT' ident 'BY' ident ['DESC'|'ASC'] (',' ...)*
+func (p *parser) sort() (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("BY"); err != nil {
+		return nil, err
+	}
+	var keys []int
+	var desc []bool
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		i, err := colIndex(in, t)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, i)
+		switch {
+		case p.acceptKw("DESC"):
+			desc = append(desc, true)
+		case p.acceptKw("ASC"):
+			desc = append(desc, false)
+		default:
+			desc = append(desc, false)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return in.Sort(keys, desc), nil
+}
+
+// top := 'TOP' ident number
+func (p *parser) top() (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokNumber {
+		return nil, errAt(t, "expected row count, found %q", t.text)
+	}
+	p.pos++
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil || n < 0 {
+		return nil, errAt(t, "bad row count %q", t.text)
+	}
+	return in.Top(n), nil
+}
+
+// udo := ('PROCESS'|'REDUCE' ident 'BY' colList) ident 'USING' ident ['VERSION' string]
+func (p *parser) udo(reduce bool) (*plan.Node, error) {
+	in, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	var cols []int
+	if reduce {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		cols, err = p.colList(in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("USING"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	version := name.text + "-v1"
+	if p.acceptKw("VERSION") {
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, errAt(t, "expected version string, found %q", t.text)
+		}
+		p.pos++
+		version = name.text + "-" + t.text
+	}
+	if reduce {
+		return in.Reduce(name.text, version, cols), nil
+	}
+	return in.Process(name.text, version), nil
+}
+
+// union := 'UNION' ident (',' ident)+
+func (p *parser) union() (*plan.Node, error) {
+	first, err := p.input()
+	if err != nil {
+		return nil, err
+	}
+	var rest []*plan.Node
+	for p.acceptOp(",") {
+		n, err := p.input()
+		if err != nil {
+			return nil, err
+		}
+		if n.Schema().String() != first.Schema().String() {
+			return nil, errAt(p.cur(), "UNION inputs have different schemas")
+		}
+		rest = append(rest, n)
+	}
+	if len(rest) == 0 {
+		return nil, errAt(p.cur(), "UNION needs at least two inputs")
+	}
+	return first.UnionAll(rest...), nil
+}
+
+// ---- scalar expressions -------------------------------------------------
+
+// expr := orExpr
+func (p *parser) expr(in *plan.Node) (expr.Expr, error) { return p.orExpr(in) }
+
+func (p *parser) orExpr(in *plan.Node) (expr.Expr, error) {
+	l, err := p.andExpr(in)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.B(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr(in *plan.Node) (expr.Expr, error) {
+	l, err := p.cmpExpr(in)
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.cmpExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]expr.Op{
+	"==": expr.OpEq, "!=": expr.OpNe, "<": expr.OpLt,
+	"<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) cmpExpr(in *plan.Node) (expr.Expr, error) {
+	l, err := p.addExpr(in)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.pos++
+			r, err := p.addExpr(in)
+			if err != nil {
+				return nil, err
+			}
+			return expr.B(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr(in *plan.Node) (expr.Expr, error) {
+	l, err := p.mulExpr(in)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.mulExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			l = expr.B(expr.OpAdd, l, r)
+		} else {
+			l = expr.B(expr.OpSub, l, r)
+		}
+	}
+}
+
+func (p *parser) mulExpr(in *plan.Node) (expr.Expr, error) {
+	l, err := p.unaryExpr(in)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unaryExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "*":
+			l = expr.B(expr.OpMul, l, r)
+		case "/":
+			l = expr.B(expr.OpDiv, l, r)
+		default:
+			l = expr.B(expr.OpMod, l, r)
+		}
+	}
+}
+
+func (p *parser) unaryExpr(in *plan.Node) (expr.Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.unaryExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: e}, nil
+	}
+	return p.primary(in)
+}
+
+func (p *parser) primary(in *plan.Node) (expr.Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errAt(t, "bad number %q", t.text)
+			}
+			return expr.Lit(data.Float(f)), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errAt(t, "bad number %q", t.text)
+		}
+		return expr.Lit(data.Int(n)), nil
+	case tokString:
+		return expr.Lit(data.String_(t.text)), nil
+	case tokParam:
+		v, ok := p.params[t.text]
+		if !ok {
+			return nil, errAt(t, "unbound parameter @%s", t.text)
+		}
+		p.recordParam(t.text)
+		return expr.P(t.text, v), nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return expr.Lit(data.Bool(true)), nil
+		case "FALSE":
+			return expr.Lit(data.Bool(false)), nil
+		case "DATE":
+			nt := p.next()
+			if nt.kind != tokNumber {
+				return nil, errAt(nt, "DATE needs a day number, found %q", nt.text)
+			}
+			d, err := strconv.ParseInt(nt.text, 10, 64)
+			if err != nil {
+				return nil, errAt(nt, "bad day number %q", nt.text)
+			}
+			return expr.Lit(data.Date(d)), nil
+		}
+		return nil, errAt(t, "unexpected %s in expression", t.text)
+	case tokIdent:
+		// Function call or column reference.
+		if p.acceptOp("(") {
+			var args []expr.Expr
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.expr(in)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptOp(")") {
+						break
+					}
+					if err := p.expectOp(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return expr.F(strings.ToLower(t.text), args...), nil
+		}
+		i, err := colIndex(in, t)
+		if err != nil {
+			return nil, err
+		}
+		return expr.C(i, t.text), nil
+	case tokOp:
+		if t.text == "(" {
+			e, err := p.expr(in)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			e, err := p.unaryExpr(in)
+			if err != nil {
+				return nil, err
+			}
+			return expr.B(expr.OpSub, expr.Lit(data.Int(0)), e), nil
+		}
+	}
+	return nil, errAt(t, "unexpected %q in expression", t.text)
+}
+
+func (p *parser) recordParam(name string) {
+	if p.seen == nil {
+		p.seen = map[string]bool{}
+	}
+	if !p.seen[name] {
+		p.seen[name] = true
+		p.used = append(p.used, name)
+	}
+}

@@ -1,0 +1,164 @@
+// Package script implements a small SCOPE-like scripting language for
+// authoring jobs as text, the way the paper's users write recurring
+// templates. A script is a sequence of named operator statements ending in
+// one or more OUTPUT statements:
+//
+//	rows = EXTRACT FROM clicks;
+//	today = FILTER rows WHERE day == @day AND dur > 100;
+//	part = SHUFFLE today BY user INTO 8;
+//	agg = AGGREGATE part BY user SUM(dur), COUNT(url);
+//	top = SORT agg BY sum_dur DESC;
+//	OUTPUT top TO report;
+//
+// Parameters (@day) are recurring deltas: the compiler binds their values
+// per instance, and they compile to expr.Param so the normalized signature
+// is identical across instances while the precise signature tracks the
+// binding — scripts are templates by construction.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam // @name
+	tokOp    // punctuation / operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// keywords are case-insensitive; they are stored uppercase.
+var keywords = map[string]bool{
+	"EXTRACT": true, "FROM": true, "FILTER": true, "WHERE": true,
+	"SHUFFLE": true, "BY": true, "INTO": true, "AGGREGATE": true,
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "AVG": true,
+	"SELECT": true, "AS": true, "JOIN": true, "WITH": true, "ON": true,
+	"SORT": true, "DESC": true, "ASC": true, "TOP": true,
+	"PROCESS": true, "REDUCE": true, "USING": true, "VERSION": true,
+	"UNION": true, "OUTPUT": true, "TO": true, "GATHER": true,
+	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
+	"DATE": true,
+}
+
+// Error is a script compilation error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("script:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex splits the source into tokens. Comments run from "--" to newline.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, l0, c0 := i, line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, l0, c0})
+			} else {
+				toks = append(toks, token{tokIdent, word, l0, c0})
+			}
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			seenDot := false
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || (src[i] == '.' && !seenDot)) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				advance(1)
+			}
+			toks = append(toks, token{tokNumber, src[start:i], l0, c0})
+		case c == '\'':
+			l0, c0 := line, col
+			advance(1)
+			start := i
+			for i < len(src) && src[i] != '\'' {
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, &Error{Line: l0, Col: c0, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, src[start:i], l0, c0})
+			advance(1)
+		case c == '@':
+			l0, c0 := line, col
+			advance(1)
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			if start == i {
+				return nil, &Error{Line: l0, Col: c0, Msg: "empty parameter name after '@'"}
+			}
+			toks = append(toks, token{tokParam, src[start:i], l0, c0})
+		default:
+			l0, c0 := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, token{tokOp, two, l0, c0})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';':
+				toks = append(toks, token{tokOp, string(c), l0, c0})
+				advance(1)
+			default:
+				return nil, &Error{Line: l0, Col: c0, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

@@ -1,0 +1,116 @@
+// Package signature computes the precise and normalized signatures of plan
+// subgraphs (paper §3, Figure 7).
+//
+// The precise signature identifies a computation exactly: it covers the
+// operator structure, input GUIDs, recurring parameter values, and UDO code
+// hashes. Matching precise signatures is what makes reuse safe — two
+// subgraphs with the same precise signature compute byte-identical results.
+//
+// The normalized signature strips recurring deltas (GUIDs, parameter
+// values, code hashes) so that recurring instances of the same script
+// template hash identically. The analyzer selects views by normalized
+// signature from past instances; the runtime then materializes matching
+// subgraphs of future instances and records their precise signatures for
+// reuse within the instance.
+package signature
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+
+	"cloudviews/internal/expr"
+	"cloudviews/internal/plan"
+)
+
+// Signature pairs the two hashes of one subgraph.
+type Signature struct {
+	Precise    string
+	Normalized string
+}
+
+// Of computes the signature of the subgraph rooted at n.
+func Of(n *plan.Node) Signature {
+	c := NewComputer()
+	return c.Of(n)
+}
+
+// Computer memoizes per-node signatures so enumerating every subgraph of a
+// plan costs O(nodes), not O(nodes²). A Computer is not safe for concurrent
+// use; create one per goroutine.
+type Computer struct {
+	precise map[*plan.Node]string
+	norm    map[*plan.Node]string
+}
+
+// NewComputer returns an empty Computer.
+func NewComputer() *Computer {
+	return &Computer{
+		precise: map[*plan.Node]string{},
+		norm:    map[*plan.Node]string{},
+	}
+}
+
+// Of returns the signature of the subgraph rooted at n, reusing any
+// previously computed child hashes.
+func (c *Computer) Of(n *plan.Node) Signature {
+	return Signature{
+		Precise:    c.hash(n, expr.Precise),
+		Normalized: c.hash(n, expr.Normalized),
+	}
+}
+
+// AllSubgraphs returns the signature of every distinct subgraph (node) of
+// the plan, in post-order. Transparent wrappers (Spool, Materialize) are
+// skipped: they denote the same computation as their child.
+func (c *Computer) AllSubgraphs(root *plan.Node) []SubgraphSig {
+	var out []SubgraphSig
+	plan.Walk(root, func(n *plan.Node) {
+		if n.Transparent() {
+			return
+		}
+		out = append(out, SubgraphSig{Node: n, Sig: c.Of(n)})
+	})
+	return out
+}
+
+// SubgraphSig pairs a subgraph root with its signature.
+type SubgraphSig struct {
+	Node *plan.Node
+	Sig  Signature
+}
+
+func (c *Computer) hash(n *plan.Node, mode expr.Mode) string {
+	memo := c.precise
+	if mode == expr.Normalized {
+		memo = c.norm
+	}
+	if s, ok := memo[n]; ok {
+		return s
+	}
+	var s string
+	switch {
+	case n.Transparent():
+		s = c.hash(n.Children[0], mode)
+	case n.Kind == plan.OpViewScan:
+		// A view scan *is* the computation it replaced; reuse its hash so
+		// ancestor signatures are unchanged by the rewrite.
+		if mode == expr.Precise {
+			s = n.ViewPreciseSig
+		} else {
+			s = n.ViewNormSig
+		}
+	default:
+		h := sha256.New()
+		var local bytes.Buffer
+		n.EncodeLocal(&local, mode)
+		h.Write(local.Bytes())
+		for _, ch := range n.Children {
+			h.Write([]byte{0})
+			h.Write([]byte(c.hash(ch, mode)))
+		}
+		s = hex.EncodeToString(h.Sum(nil))[:32]
+	}
+	memo[n] = s
+	return s
+}

@@ -1,0 +1,202 @@
+// Package storage implements the cluster store for materialized views.
+//
+// Following the paper, a materialized view is a set of partitioned files
+// whose "physical path" embeds the precise signature of the computation it
+// captures, the ID of the job that produced it (provenance), and its expiry
+// (§5.4, §6.2). The storage manager purges expired views; the metadata
+// service must be cleaned first so in-flight jobs never read a dangling
+// path — Store enforces that ordering by keeping purged views readable by
+// open handles while removing them from lookup.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+// View is one materialized view: the output rows of a subgraph, laid out
+// with an explicit physical design.
+type View struct {
+	Path          string
+	PreciseSig    string
+	NormSig       string
+	ProducerJobID string
+	// ExpiresAt is the simulated time after which the storage manager may
+	// purge the view (derived from input lineage, §5.4).
+	ExpiresAt int64
+	CreatedAt int64
+	Schema    data.Schema
+	Props     plan.PhysicalProps
+	// Partitions hold the rows in the view's physical design.
+	Partitions [][]data.Row
+	Bytes      int64
+	Rows       int64
+}
+
+// PathFor builds the canonical physical path of a view, embedding the
+// precise signature and producing job — the paper's trick for provenance
+// and matching without extra metadata state.
+func PathFor(preciseSig, jobID string) string {
+	return fmt.Sprintf("/views/%s/%s.ss", preciseSig, jobID)
+}
+
+// Store is a concurrent view store with signature lookup and expiry.
+type Store struct {
+	mu        sync.RWMutex
+	byPath    map[string]*View
+	byPrecise map[string]string // precise sig -> path
+	bytes     int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byPath:    map[string]*View{},
+		byPrecise: map[string]string{},
+	}
+}
+
+// Write installs a view. Writing a second view for the same precise
+// signature is rejected — the metadata service's build locks should make
+// that impossible, so hitting it indicates a synchronization bug.
+func (s *Store) Write(v *View) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byPath[v.Path]; ok {
+		return fmt.Errorf("storage: path %q already exists", v.Path)
+	}
+	if p, ok := s.byPrecise[v.PreciseSig]; ok {
+		return fmt.Errorf("storage: signature %s already materialized at %q", v.PreciseSig, p)
+	}
+	var rows, bytes int64
+	for _, p := range v.Partitions {
+		rows += int64(len(p))
+		for _, r := range p {
+			bytes += r.ByteSize()
+		}
+	}
+	v.Rows, v.Bytes = rows, bytes
+	s.byPath[v.Path] = v
+	s.byPrecise[v.PreciseSig] = v.Path
+	s.bytes += bytes
+	return nil
+}
+
+// Get returns the view at path.
+func (s *Store) Get(path string) (*View, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("storage: no view at %q", path)
+	}
+	return v, nil
+}
+
+// LookupPrecise returns the view materialized for the precise signature,
+// or nil if none exists.
+func (s *Store) LookupPrecise(sig string) *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.byPrecise[sig]; ok {
+		return s.byPath[p]
+	}
+	return nil
+}
+
+// Delete removes the view at path. It is idempotent.
+func (s *Store) Delete(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.byPath[path]
+	if !ok {
+		return
+	}
+	delete(s.byPath, path)
+	delete(s.byPrecise, v.PreciseSig)
+	s.bytes -= v.Bytes
+}
+
+// Purge removes every view whose expiry is at or before now and returns
+// the purged paths.
+func (s *Store) Purge(now int64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var purged []string
+	for path, v := range s.byPath {
+		if v.ExpiresAt <= now {
+			delete(s.byPath, path)
+			delete(s.byPrecise, v.PreciseSig)
+			s.bytes -= v.Bytes
+			purged = append(purged, path)
+		}
+	}
+	sort.Strings(purged)
+	return purged
+}
+
+// TotalBytes returns the bytes currently held by all views.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Len returns the number of stored views.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byPath)
+}
+
+// Views returns a snapshot of all stored views, ordered by path.
+func (s *Store) Views() []*View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*View, 0, len(s.byPath))
+	for _, v := range s.byPath {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ReclaimLowestUtility removes views in ascending order of the utility
+// score provided by rank until at least wantBytes have been reclaimed.
+// This is the admin "reclaim storage by min-utility" operation of §5.4.
+// It returns the purged paths.
+func (s *Store) ReclaimLowestUtility(wantBytes int64, rank func(*View) float64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type scored struct {
+		v     *View
+		score float64
+	}
+	all := make([]scored, 0, len(s.byPath))
+	for _, v := range s.byPath {
+		all = append(all, scored{v, rank(v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score < all[j].score
+		}
+		return all[i].v.Path < all[j].v.Path
+	})
+	var purged []string
+	var freed int64
+	for _, sc := range all {
+		if freed >= wantBytes {
+			break
+		}
+		delete(s.byPath, sc.v.Path)
+		delete(s.byPrecise, sc.v.PreciseSig)
+		s.bytes -= sc.v.Bytes
+		freed += sc.v.Bytes
+		purged = append(purged, sc.v.Path)
+	}
+	return purged
+}

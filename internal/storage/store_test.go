@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+func mkView(sig string, rows int, expiry int64) *View {
+	part := make([]data.Row, rows)
+	for i := range part {
+		part[i] = data.Row{data.Int(int64(i)), data.String_("x")}
+	}
+	return &View{
+		Path:       PathFor(sig, "job-"+sig),
+		PreciseSig: sig,
+		NormSig:    "n-" + sig,
+		ExpiresAt:  expiry,
+		Schema:     data.Schema{{Name: "k", Kind: data.KindInt}, {Name: "v", Kind: data.KindString}},
+		Partitions: [][]data.Row{part},
+	}
+}
+
+func TestPathForEmbedsSigAndJob(t *testing.T) {
+	p := PathFor("abc123", "job9")
+	if !strings.Contains(p, "abc123") || !strings.Contains(p, "job9") {
+		t.Errorf("path %q must embed signature and job id", p)
+	}
+}
+
+func TestWriteGetLookup(t *testing.T) {
+	s := NewStore()
+	v := mkView("sig1", 10, 100)
+	if err := s.Write(v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows != 10 || v.Bytes <= 0 {
+		t.Errorf("Write did not account rows/bytes: %d/%d", v.Rows, v.Bytes)
+	}
+	got, err := s.Get(v.Path)
+	if err != nil || got != v {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if s.LookupPrecise("sig1") != v {
+		t.Error("LookupPrecise missed")
+	}
+	if s.LookupPrecise("nope") != nil {
+		t.Error("LookupPrecise false positive")
+	}
+	if _, err := s.Get("/nope"); err == nil {
+		t.Error("Get missing should error")
+	}
+	if s.Len() != 1 || s.TotalBytes() != v.Bytes {
+		t.Errorf("Len/TotalBytes = %d/%d", s.Len(), s.TotalBytes())
+	}
+}
+
+func TestDuplicateWritesRejected(t *testing.T) {
+	s := NewStore()
+	if err := s.Write(mkView("sig1", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Same path.
+	if err := s.Write(mkView("sig1", 1, 10)); err == nil {
+		t.Error("duplicate path accepted")
+	}
+	// Same signature, different path.
+	v := mkView("sig1", 1, 10)
+	v.Path = "/views/other"
+	if err := s.Write(v); err == nil {
+		t.Error("duplicate signature accepted")
+	}
+}
+
+func TestDeleteAndPurge(t *testing.T) {
+	s := NewStore()
+	for i, exp := range []int64{5, 10, 15} {
+		if err := s.Write(mkView(fmt.Sprintf("s%d", i), 2, exp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	purged := s.Purge(10)
+	if len(purged) != 2 {
+		t.Fatalf("Purge(10) removed %d, want 2", len(purged))
+	}
+	if s.Len() != 1 || s.LookupPrecise("s2") == nil {
+		t.Error("wrong survivor after purge")
+	}
+	if s.LookupPrecise("s0") != nil {
+		t.Error("purged view still findable")
+	}
+	s.Delete(PathFor("s2", "job-s2"))
+	if s.Len() != 0 || s.TotalBytes() != 0 {
+		t.Errorf("after delete: len=%d bytes=%d", s.Len(), s.TotalBytes())
+	}
+	s.Delete("/already/gone") // idempotent
+}
+
+func TestViewsSnapshotOrdered(t *testing.T) {
+	s := NewStore()
+	for _, sig := range []string{"c", "a", "b"} {
+		if err := s.Write(mkView(sig, 1, 99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := s.Views()
+	if len(vs) != 3 {
+		t.Fatalf("Views len = %d", len(vs))
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Path >= vs[i].Path {
+			t.Error("Views not ordered by path")
+		}
+	}
+}
+
+func TestReclaimLowestUtility(t *testing.T) {
+	s := NewStore()
+	// Three views, utility = expiry for the test. Sizes equal.
+	for i, sig := range []string{"low", "mid", "high"} {
+		if err := s.Write(mkView(sig, 4, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := s.Views()[0].Bytes
+	purged := s.ReclaimLowestUtility(one+1, func(v *View) float64 { return float64(v.ExpiresAt) })
+	if len(purged) != 2 {
+		t.Fatalf("reclaimed %d views, want 2", len(purged))
+	}
+	if s.LookupPrecise("high") == nil {
+		t.Error("highest-utility view should survive")
+	}
+	if s.LookupPrecise("low") != nil || s.LookupPrecise("mid") != nil {
+		t.Error("low-utility views should be gone")
+	}
+}
+
+func TestConcurrentStoreOps(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sig := fmt.Sprintf("g%d-%d", g, i)
+				if err := s.Write(mkView(sig, 1, int64(i))); err != nil {
+					t.Errorf("write: %v", err)
+				}
+				s.LookupPrecise(sig)
+				if i%10 == 0 {
+					s.Purge(int64(i / 2))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

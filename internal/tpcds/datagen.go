@@ -1,0 +1,176 @@
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+)
+
+// Generate builds a TPC-DS catalog at the given scale factor with
+// foreign-key-consistent synthetic data: every fact-table surrogate key
+// falls inside its dimension's key range, so joins have realistic hit
+// rates. The data is deterministic in (scale, seed).
+func Generate(scale float64, seed int64) *catalog.Catalog {
+	if scale <= 0 {
+		scale = 1
+	}
+	cat := catalog.New()
+	rng := rand.New(rand.NewSource(seed))
+	defs := Tables()
+
+	// Dimension key ranges: dim name -> row count (keys are 0..n-1).
+	dimRows := map[string]int{}
+	for _, def := range defs {
+		n := scaledRows(def, scale)
+		if def.Dimension {
+			dimRows[def.Name] = n
+		}
+	}
+
+	for _, def := range defs {
+		n := scaledRows(def, scale)
+		tab := data.NewTable(def.Name, fmt.Sprintf("tpcds-%s-sf%.2f", def.Name, scale), def.Schema, def.Partitions)
+		rr := 0
+		for i := 0; i < n; i++ {
+			tab.AppendHash(genRow(def, i, dimRows, rng), []int{0}, &rr)
+		}
+		cat.Register(tab)
+	}
+	return cat
+}
+
+func scaledRows(def TableDef, scale float64) int {
+	f := scale
+	if def.Dimension {
+		// Dimensions grow sublinearly with scale, as in real TPC-DS.
+		f = math.Sqrt(scale)
+	}
+	n := int(float64(def.BaseRows) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fkTarget maps a foreign-key column name to its dimension table.
+var fkTarget = map[string]string{
+	"date_sk": "date_dim", "sold_date_sk": "date_dim", "returned_date_sk": "date_dim",
+	"item_sk": "item", "customer_sk": "customer", "bill_customer_sk": "customer",
+	"refunded_customer_sk": "customer", "store_sk": "store", "call_center_sk": "call_center",
+	"web_site_sk": "web_site", "web_page_sk": "web_page", "warehouse_sk": "warehouse",
+	"promo_sk": "promotion", "reason_sk": "reason", "addr_sk": "customer_address",
+	"cdemo_sk": "customer_demographics", "hdemo_sk": "household_demographics",
+	"income_band_sk": "income_band", "time_sk": "time_dim", "open_date_sk": "date_dim",
+}
+
+// fkDim resolves the dimension a column references, if any.
+func fkDim(col string) (string, bool) {
+	for suffix, dim := range fkTarget {
+		if strings.HasSuffix(col, suffix) {
+			return dim, true
+		}
+	}
+	return "", false
+}
+
+func genRow(def TableDef, i int, dimRows map[string]int, rng *rand.Rand) data.Row {
+	row := make(data.Row, len(def.Schema))
+	for c, col := range def.Schema {
+		switch {
+		case c == 0 && def.Dimension:
+			// Dimension primary key: dense 0..n-1.
+			row[c] = data.Int(int64(i))
+		case col.Kind == data.KindInt:
+			if dim, ok := fkDim(col.Name); ok {
+				row[c] = data.Int(int64(rng.Intn(max(1, dimRows[dim]))))
+				break
+			}
+			row[c] = data.Int(genIntAttr(col.Name, i, rng))
+		case col.Kind == data.KindFloat:
+			row[c] = data.Float(float64(rng.Intn(10000)) / 100.0)
+		case col.Kind == data.KindString:
+			row[c] = data.String_(genStringAttr(col.Name, rng))
+		default:
+			row[c] = data.Null()
+		}
+	}
+	return row
+}
+
+// genIntAttr produces plausible attribute domains for the columns queries
+// filter on.
+func genIntAttr(name string, i int, rng *rand.Rand) int64 {
+	switch {
+	case strings.HasSuffix(name, "d_year"):
+		return int64(1998 + i/366%5)
+	case strings.HasSuffix(name, "d_moy"):
+		return int64(1 + i/30%12)
+	case strings.HasSuffix(name, "d_dom"):
+		return int64(1 + i%28)
+	case strings.HasSuffix(name, "d_qoy"):
+		return int64(1 + i/91%4)
+	case strings.HasSuffix(name, "d_dow"):
+		return int64(i % 7)
+	case strings.HasSuffix(name, "t_hour"):
+		return int64(i / 12 % 24)
+	case strings.HasSuffix(name, "t_minute"):
+		return int64(i % 60)
+	case strings.HasSuffix(name, "quantity"), strings.HasSuffix(name, "quantity_on_hand"):
+		return int64(1 + rng.Intn(100))
+	case strings.HasSuffix(name, "brand_id"):
+		return int64(rng.Intn(50))
+	case strings.HasSuffix(name, "class_id"):
+		return int64(rng.Intn(16))
+	case strings.HasSuffix(name, "category_id"):
+		return int64(rng.Intn(10))
+	case strings.HasSuffix(name, "manufact_id"):
+		return int64(rng.Intn(100))
+	case strings.HasSuffix(name, "birth_year"):
+		return int64(1940 + rng.Intn(60))
+	case strings.HasSuffix(name, "dep_count"):
+		return int64(rng.Intn(10))
+	case strings.HasSuffix(name, "vehicle_count"):
+		return int64(rng.Intn(5))
+	case strings.HasSuffix(name, "gmt_offset"):
+		return int64(-8 + rng.Intn(6))
+	default:
+		return int64(rng.Intn(1000))
+	}
+}
+
+var stringDomains = map[string][]string{
+	"i_category":            {"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women", "Children"},
+	"i_brand":               {"brand#1", "brand#2", "brand#3", "brand#4", "brand#5", "brand#6", "brand#7", "brand#8"},
+	"ca_state":              {"CA", "TX", "WA", "NY", "GA", "OH", "IL", "MI"},
+	"ca_county":             {"King", "Orange", "Dallas", "Cook", "Fulton", "Wayne"},
+	"ca_city":               {"Seattle", "Austin", "Fairview", "Midway", "Oakland"},
+	"cd_gender":             {"M", "F"},
+	"cd_marital_status":     {"S", "M", "D", "W", "U"},
+	"cd_education_status":   {"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree"},
+	"hd_buy_potential":      {"0-500", "501-1000", "1001-5000", ">10000", "Unknown"},
+	"s_state":               {"TN", "SD", "AL", "GA", "OH"},
+	"s_county":              {"Williamson", "Ziebach", "Walker"},
+	"c_preferred_cust_flag": {"Y", "N"},
+	"p_channel_email":       {"Y", "N"},
+	"sm_type":               {"EXPRESS", "OVERNIGHT", "REGULAR", "TWO DAY", "LIBRARY"},
+	"wp_type":               {"order", "review", "dynamic", "feedback", "general"},
+	"w_state":               {"TN", "SD", "AL"},
+}
+
+func genStringAttr(name string, rng *rand.Rand) string {
+	if dom, ok := stringDomains[name]; ok {
+		return dom[rng.Intn(len(dom))]
+	}
+	return fmt.Sprintf("%s_%d", name, rng.Intn(64))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+// Package workload implements the SCOPE workload repository and the
+// feedback loop of paper §5.1: it joins compile-time query plans with the
+// run-time statistics observed during execution, producing per-subgraph
+// observations keyed by precise and normalized signature.
+//
+// The analyzer mines these observations to pick views; because every
+// candidate has actually executed, its utility (runtime saved) and cost
+// (bytes stored) are measured rather than estimated — the paper's answer
+// to optimizer estimates being "often way off".
+package workload
+
+import (
+	"sync"
+
+	"cloudviews/internal/exec"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+)
+
+// JobMeta describes one submitted job: identity, placement, and recurrence.
+type JobMeta struct {
+	JobID        string
+	Cluster      string
+	BusinessUnit string
+	VC           string
+	User         string
+	// TemplateID names the recurring script template the job instantiates;
+	// jobs from the same template share it across instances.
+	TemplateID string
+	// Instance is the recurring instance index (simulated time unit).
+	Instance int64
+	// Period is the template's recurrence period in instance units
+	// (1 = every instance, 7 = weekly for daily instances, …). It drives
+	// view-expiry lineage (§5.4).
+	Period int64
+	// SubmitOrder is the arrival position within the instance.
+	SubmitOrder int
+}
+
+// Observation is one subgraph occurrence reconciled with its runtime
+// statistics — the unit the feedback loop produces.
+type Observation struct {
+	Job        JobMeta
+	PreciseSig string
+	NormSig    string
+	RootOp     plan.OpKind
+	// Runtime statistics from the execution of this subgraph.
+	Rows           int64
+	Bytes          int64
+	ExclusiveCost  float64
+	CumulativeCost float64
+	Latency        float64
+	// JobCPU and JobLatency are the enclosing job's totals, for
+	// view-to-query cost ratios (paper Figure 5d).
+	JobCPU     float64
+	JobLatency float64
+	// Inputs are the logical tables the subgraph reads.
+	Inputs []string
+	// Props is the subgraph's derived output physical design (§5.3).
+	Props plan.PhysicalProps
+	// Ops is the operator count of the subgraph (view "size" in plan terms).
+	Ops int
+}
+
+// JobRecord is one executed job with its plan and totals.
+type JobRecord struct {
+	Meta    JobMeta
+	Root    *plan.Node
+	CPU     float64
+	Latency float64
+	// Subgraphs are the job's observation indexes into the repository.
+	Subgraphs []int
+}
+
+// Repository accumulates executed jobs and their subgraph observations.
+// It is safe for concurrent Record/snapshot use.
+type Repository struct {
+	mu   sync.RWMutex
+	jobs []*JobRecord
+	obs  []Observation
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{}
+}
+
+// Record reconciles the compiled plan of a finished job with the runtime
+// statistics of its execution, appending one observation per distinct
+// non-transparent subgraph. This is the feedback-loop join: the executed
+// data flow is linked back to the query tree node by node (§5.1).
+func (r *Repository) Record(meta JobMeta, root *plan.Node, res *exec.Result) *JobRecord {
+	comp := signature.NewComputer()
+	subs := comp.AllSubgraphs(root)
+
+	rec := &JobRecord{
+		Meta:    meta,
+		Root:    root,
+		CPU:     res.TotalCPU,
+		Latency: res.Latency,
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range subs {
+		st, ok := res.NodeStats[s.Node]
+		if !ok {
+			// Node did not execute (should not happen for a completed
+			// job); skip rather than fabricate statistics.
+			continue
+		}
+		o := Observation{
+			Job:            meta,
+			PreciseSig:     s.Sig.Precise,
+			NormSig:        s.Sig.Normalized,
+			RootOp:         s.Node.Kind,
+			Rows:           st.Rows,
+			Bytes:          st.Bytes,
+			ExclusiveCost:  st.ExclusiveCost,
+			CumulativeCost: st.CumulativeCost,
+			Latency:        st.Latency,
+			JobCPU:         res.TotalCPU,
+			JobLatency:     res.Latency,
+			Inputs:         plan.Inputs(s.Node),
+			Props:          plan.DeriveProps(s.Node),
+			Ops:            plan.Count(s.Node),
+		}
+		rec.Subgraphs = append(rec.Subgraphs, len(r.obs))
+		r.obs = append(r.obs, o)
+	}
+	r.jobs = append(r.jobs, rec)
+	return rec
+}
+
+// Jobs returns a snapshot of all recorded jobs.
+func (r *Repository) Jobs() []*JobRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*JobRecord(nil), r.jobs...)
+}
+
+// Observations returns a snapshot of all subgraph observations.
+func (r *Repository) Observations() []Observation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Observation(nil), r.obs...)
+}
+
+// Window returns the observations of jobs whose instance index lies in
+// [from, to] — the analyzer's time-window filter.
+func (r *Repository) Window(from, to int64) []Observation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Observation
+	for _, o := range r.obs {
+		if o.Job.Instance >= from && o.Job.Instance <= to {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// NumJobs returns the number of recorded jobs.
+func (r *Repository) NumJobs() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.jobs)
+}
+
+// InputPeriods returns, per logical input, the longest recurrence period
+// of any template reading it. The view-expiry heuristic of §5.4 uses this
+// lineage: a view over an input also consumed by weekly jobs must outlive
+// the week.
+func (r *Repository) InputPeriods() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]int64{}
+	for _, o := range r.obs {
+		for _, in := range o.Inputs {
+			if o.Job.Period > out[in] {
+				out[in] = o.Job.Period
+			}
+		}
+	}
+	return out
+}
