@@ -1,0 +1,13 @@
+.PHONY: check test race bench
+
+check:
+	./scripts/check.sh
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
+
+bench:
+	go test -run='^$$' -bench=. -benchmem ./...

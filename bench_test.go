@@ -143,6 +143,9 @@ func BenchmarkFigure12ProductionCPUHours(b *testing.B) {
 // improvement across all 99 TPC-DS queries with the top-10 views (paper:
 // 79/99 improved, average 12.5%, total 17%).
 func BenchmarkFigure13TPCDS(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full 99-query TPC-DS run; skipped in -short smoke mode")
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := bench.RunTPCDS(bench.DefaultTPCDSConfig())
 		if err != nil {
@@ -152,6 +155,31 @@ func BenchmarkFigure13TPCDS(b *testing.B) {
 			b.ReportMetric(float64(r.Improved), "queries-improved")
 			b.ReportMetric(r.AvgImprovementPct, "%avg-improvement")
 			b.ReportMetric(r.TotalImprovementPct, "%total-improvement")
+		}
+	}
+}
+
+// BenchmarkConcurrentSubmit measures the concurrent submission pipeline:
+// the same pure-reuse workload run serially and through SubmitBatch on
+// identically warmed services, reporting batched throughput and the
+// wall-clock speedup. The speedup is bounded by GOMAXPROCS — expect ≥2x
+// on a 4-core machine, and ~1x on a single-core one — while outputs and
+// view-reuse decisions must be identical regardless (the benchmark fails
+// otherwise).
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunConcurrentSubmit(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OutputMismatches != 0 || r.DecisionMismatches != 0 {
+			b.Fatalf("concurrency changed results: %d output, %d decision mismatches",
+				r.OutputMismatches, r.DecisionMismatches)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.JobsPerSec, "jobs/s")
+			b.ReportMetric(r.Speedup, "x-speedup")
+			b.ReportMetric(float64(r.Jobs), "jobs")
 		}
 	}
 }

@@ -215,6 +215,14 @@ func SubmitJob(s *Service, meta JobMeta, root *Plan) (*JobResult, error) {
 	return s.Submit(JobSpec{Meta: meta, Root: root})
 }
 
+// SubmitBatch submits a batch of jobs with up to concurrency in flight
+// (≤ 0 means one per CPU), returning results in submission order. Jobs in
+// a batch coordinate view builds through the metadata service exactly as
+// concurrently arriving production jobs do (§6.5).
+func SubmitBatch(s *Service, specs []JobSpec, concurrency int) ([]*JobResult, error) {
+	return s.SubmitBatch(specs, concurrency)
+}
+
 // ---- Scripts -----------------------------------------------------------------
 
 // ScriptParams binds recurring parameters (@day, …) for one instance;

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cloudviews/internal/analyzer"
+	"cloudviews/internal/core"
+	"cloudviews/internal/data"
+	"cloudviews/internal/workgen"
+)
+
+// ConcurrentResult reports the concurrent-submission experiment: the same
+// reuse-heavy workload pushed through the pipeline serially and as one
+// SubmitBatch, with wall-clock (real, not simulated) timings. Unlike the
+// paper figures this measures the harness itself — the parallel DAG
+// scheduler plus the batched job pipeline — so the speedup is bounded by
+// GOMAXPROCS, and the mismatch counters prove concurrency changed nothing
+// about the answers.
+type ConcurrentResult struct {
+	Jobs        int
+	Concurrency int
+	SerialWall  time.Duration
+	BatchWall   time.Duration
+	// Speedup is SerialWall / BatchWall.
+	Speedup float64
+	// JobsPerSec is the batched pipeline's throughput.
+	JobsPerSec float64
+	// OutputMismatches counts jobs whose rows differed between the serial
+	// and batched passes; DecisionMismatches counts differing view-reuse
+	// decisions. Both must be zero.
+	OutputMismatches   int
+	DecisionMismatches int
+}
+
+// RunConcurrentSubmit runs the concurrency experiment at the given batch
+// concurrency (≤ 0 means GOMAXPROCS).
+//
+// Setup (untimed): generate a sharing-heavy workload, run instance 0 as
+// history, analyze, deliver instance 1, and warm two identical services —
+// each builds every selected view via one serial pass — so both measured
+// passes are pure-reuse and reuse identical view stores. Measured: the
+// instance-1 jobs resubmitted serially on one service, then as a single
+// SubmitBatch on the other.
+func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
+	p := workgen.DefaultProfile("conc", 11)
+	p.Templates = 48
+	p.Users = 16
+	p.CloneRate = 0.6
+	w := workgen.Generate(p)
+
+	hist := core.NewService(w.Catalog, core.Config{Enabled: false})
+	histJobs := w.JobsForInstance(0)
+	histSpecs := make([]core.JobSpec, len(histJobs))
+	for i, j := range histJobs {
+		histSpecs[i] = core.JobSpec{Meta: j.Meta, Root: j.Root}
+	}
+	if _, err := hist.SubmitBatch(histSpecs, concurrency); err != nil {
+		return nil, err
+	}
+	an := analyzer.New(hist.Repo).Analyze(analyzer.Config{
+		MinFrequency: 2,
+		MinCostRatio: 0.1,
+		MaxPerJob:    1,
+		TopK:         4,
+	})
+	if len(an.Selected) == 0 {
+		return nil, fmt.Errorf("bench: concurrent workload selected no views")
+	}
+
+	w.DeliverInstance(1)
+	jobs := w.JobsForInstance(1)
+	specs := make([]core.JobSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = core.JobSpec{Meta: j.Meta, Root: j.Root}
+	}
+
+	newWarm := func() (*core.Service, error) {
+		s := core.NewService(w.Catalog, core.Config{Enabled: true, MaxViewsPerJob: 1})
+		s.Meta.LoadAnalysis(an.Annotations)
+		for _, spec := range specs {
+			if _, err := s.Submit(spec); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	sSerial, err := newWarm()
+	if err != nil {
+		return nil, err
+	}
+	sBatch, err := newWarm()
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	serial := make([]*core.JobResult, len(specs))
+	for i, spec := range specs {
+		r, err := sSerial.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		serial[i] = r
+	}
+	serialWall := time.Since(start)
+
+	start = time.Now()
+	batch, err := sBatch.SubmitBatch(specs, concurrency)
+	if err != nil {
+		return nil, err
+	}
+	batchWall := time.Since(start)
+
+	res := &ConcurrentResult{
+		Jobs:        len(specs),
+		Concurrency: concurrency,
+		SerialWall:  serialWall,
+		BatchWall:   batchWall,
+		Speedup:     float64(serialWall) / float64(batchWall),
+		JobsPerSec:  float64(len(specs)) / batchWall.Seconds(),
+	}
+	for i := range specs {
+		if !sameOutputs(serial[i], batch[i]) {
+			res.OutputMismatches++
+		}
+		if !sameDecision(serial[i], batch[i]) {
+			res.DecisionMismatches++
+		}
+	}
+	return res, nil
+}
+
+func sameOutputs(a, b *core.JobResult) bool {
+	if len(a.Result.Outputs) != len(b.Result.Outputs) {
+		return false
+	}
+	for name, rows := range a.Result.Outputs {
+		if !data.RowsEqual(rows, b.Result.Outputs[name]) {
+			return false
+		}
+	}
+	return a.Result.TotalCPU == b.Result.TotalCPU
+}
+
+func sameDecision(a, b *core.JobResult) bool {
+	sigs := func(r *core.JobResult) []string {
+		out := make([]string, 0, len(r.Decision.ViewsUsed))
+		for _, v := range r.Decision.ViewsUsed {
+			out = append(out, v.PreciseSig)
+		}
+		sort.Strings(out)
+		return out
+	}
+	sa, sb := sigs(a), sigs(b)
+	if len(sa) != len(sb) || len(a.Decision.ViewsBuilt) != len(b.Decision.ViewsBuilt) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteConcurrent renders the concurrency experiment summary.
+func WriteConcurrent(w io.Writer, r *ConcurrentResult) {
+	fmt.Fprintf(w, "concurrent submission: %d jobs, concurrency %d\n", r.Jobs, r.Concurrency)
+	fmt.Fprintf(w, "serial %v, batched %v → %.2fx speedup, %.1f jobs/s\n",
+		r.SerialWall.Round(time.Millisecond), r.BatchWall.Round(time.Millisecond), r.Speedup, r.JobsPerSec)
+	fmt.Fprintf(w, "output mismatches %d, decision mismatches %d (must be 0)\n",
+		r.OutputMismatches, r.DecisionMismatches)
+}

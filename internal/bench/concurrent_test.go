@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConcurrentSubmitShapes(t *testing.T) {
+	r, err := RunConcurrentSubmit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs < 8 {
+		t.Fatalf("only %d jobs in the concurrent workload; too small to mean anything", r.Jobs)
+	}
+	if r.OutputMismatches != 0 {
+		t.Errorf("%d jobs produced different rows under SubmitBatch", r.OutputMismatches)
+	}
+	if r.DecisionMismatches != 0 {
+		t.Errorf("%d jobs made different reuse decisions under SubmitBatch", r.DecisionMismatches)
+	}
+	if r.SerialWall <= 0 || r.BatchWall <= 0 || r.JobsPerSec <= 0 {
+		t.Errorf("degenerate timings: serial=%v batch=%v jobs/s=%v", r.SerialWall, r.BatchWall, r.JobsPerSec)
+	}
+	var sb strings.Builder
+	WriteConcurrent(&sb, r)
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Errorf("report missing speedup line:\n%s", sb.String())
+	}
+}

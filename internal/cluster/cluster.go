@@ -56,10 +56,44 @@ type interval struct {
 }
 
 // VC is one virtual cluster: a token capacity plus its reservation ledger.
+//
+// Live reservations — those that can still constrain a future admission —
+// are kept sorted by ascending end time; reservations whose end has
+// passed the admission clock are retired to history, which only
+// Utilization scans. Admission therefore stays O(live²) in the number of
+// concurrently running jobs instead of O(total-jobs-ever²): after 100k
+// simulated jobs the live ledger holds only the handful still running.
 type VC struct {
 	Name     string
 	Capacity int
-	resv     []interval
+	resv     []interval // live, sorted by ascending end
+	history  []interval // retired, ascending end (reporting only)
+}
+
+// retire moves reservations that ended at or before now out of the live
+// ledger. A reservation with end <= now cannot overlap any candidate
+// window of an admission at time >= now, so retirement is lossless for
+// Admit; Utilization still sees the full history. Admission times are
+// assumed non-decreasing per VC (the simulated clock is monotone) — an
+// out-of-order Admit dated before already-retired reservations would see
+// their capacity as free.
+func (vc *VC) retire(now int64) {
+	i := 0
+	for i < len(vc.resv) && vc.resv[i].end <= now {
+		i++
+	}
+	if i > 0 {
+		vc.history = append(vc.history, vc.resv[:i]...)
+		vc.resv = vc.resv[:copy(vc.resv, vc.resv[i:])]
+	}
+}
+
+// insert adds a reservation keeping the live ledger sorted by end time.
+func (vc *VC) insert(r interval) {
+	i := sort.Search(len(vc.resv), func(i int) bool { return vc.resv[i].end > r.end })
+	vc.resv = append(vc.resv, interval{})
+	copy(vc.resv[i+1:], vc.resv[i:])
+	vc.resv[i] = r
 }
 
 // Scheduler admits jobs to VCs under token capacity over simulated time.
@@ -112,21 +146,23 @@ func (s *Scheduler) Admit(vcName string, tokens int, at, duration int64) (start 
 	if duration < 1 {
 		duration = 1
 	}
+	vc.retire(at)
 	start = vc.earliestFit(tokens, at, duration)
-	vc.resv = append(vc.resv, interval{start: start, end: start + duration, tokens: tokens})
+	vc.insert(interval{start: start, end: start + duration, tokens: tokens})
 	return start, nil
 }
 
 // earliestFit scans candidate start times: the submission time and the end
-// of each existing reservation after it.
+// of each live reservation after it. The live ledger is already sorted by
+// end, so the candidate list comes out sorted for free.
 func (vc *VC) earliestFit(tokens int, at, duration int64) int64 {
-	candidates := []int64{at}
+	candidates := make([]int64, 1, len(vc.resv)+1)
+	candidates[0] = at
 	for _, r := range vc.resv {
 		if r.end > at {
 			candidates = append(candidates, r.end)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	for _, c := range candidates {
 		if vc.fits(tokens, c, c+duration) {
 			return c
@@ -160,6 +196,8 @@ func (vc *VC) fits(tokens int, start, end int64) bool {
 }
 
 // Utilization returns the token-seconds reserved on the VC in [from, to).
+// It scans retired history as well as the live ledger, so compaction never
+// changes reported utilization.
 func (s *Scheduler) Utilization(vcName string, from, to int64) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -168,16 +206,18 @@ func (s *Scheduler) Utilization(vcName string, from, to int64) int64 {
 		return 0
 	}
 	var total int64
-	for _, r := range vc.resv {
-		lo, hi := r.start, r.end
-		if lo < from {
-			lo = from
-		}
-		if hi > to {
-			hi = to
-		}
-		if hi > lo {
-			total += (hi - lo) * int64(r.tokens)
+	for _, ledger := range [2][]interval{vc.history, vc.resv} {
+		for _, r := range ledger {
+			lo, hi := r.start, r.end
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi > lo {
+				total += (hi - lo) * int64(r.tokens)
+			}
 		}
 	}
 	return total

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteVC is a reference admission model that keeps every reservation
+// forever and re-derives earliest fit from scratch — the behavior the
+// compacting ledger must reproduce exactly.
+type bruteVC struct {
+	capacity int
+	resv     []interval
+}
+
+func (b *bruteVC) admit(tokens int, at, duration int64) int64 {
+	if tokens < 1 {
+		tokens = 1
+	}
+	if duration < 1 {
+		duration = 1
+	}
+	candidates := []int64{at}
+	for _, r := range b.resv {
+		if r.end > at {
+			candidates = append(candidates, r.end)
+		}
+	}
+	var best int64
+	found := false
+	for _, c := range candidates {
+		if !b.fits(tokens, c, c+duration) {
+			continue
+		}
+		if !found || c < best {
+			best = c
+			found = true
+		}
+	}
+	b.resv = append(b.resv, interval{start: best, end: best + duration, tokens: tokens})
+	return best
+}
+
+func (b *bruteVC) fits(tokens int, start, end int64) bool {
+	points := []int64{start}
+	for _, r := range b.resv {
+		if r.start >= start && r.start < end {
+			points = append(points, r.start)
+		}
+	}
+	for _, p := range points {
+		used := 0
+		for _, r := range b.resv {
+			if r.start <= p && p < r.end {
+				used += r.tokens
+			}
+		}
+		if used+tokens > b.capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdmitMatchesBruteForce drives the compacting scheduler and the
+// keep-everything reference through the same random sequence of admissions
+// with non-decreasing submission times and demands start times agree on
+// every job. Utilization is cross-checked too, proving retirement to
+// history loses nothing.
+func TestAdmitMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		s.AddVC("vc", 8)
+		ref := &bruteVC{capacity: 8}
+
+		at := int64(0)
+		for i := 0; i < 400; i++ {
+			at += int64(r.Intn(4)) // non-decreasing, frequent repeats
+			tokens := 1 + r.Intn(8)
+			duration := int64(1 + r.Intn(12))
+			got, err := s.Admit("vc", tokens, at, duration)
+			if err != nil {
+				t.Fatalf("seed %d job %d: %v", seed, i, err)
+			}
+			want := ref.admit(tokens, at, duration)
+			if got != want {
+				t.Fatalf("seed %d job %d (tokens=%d at=%d dur=%d): start=%d, reference=%d",
+					seed, i, tokens, at, duration, got, want)
+			}
+		}
+
+		var wantUtil int64
+		for _, r := range ref.resv {
+			wantUtil += (r.end - r.start) * int64(r.tokens)
+		}
+		if got := s.Utilization("vc", 0, 1<<40); got != wantUtil {
+			t.Fatalf("seed %d: utilization=%d, reference=%d", seed, got, wantUtil)
+		}
+	}
+}
+
+// TestLedgerCompaction checks that ended reservations actually leave the
+// live ledger: after many short jobs admitted over advancing time, the
+// live list holds only the still-running tail, not the full history.
+func TestLedgerCompaction(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc", 4)
+	const jobs = 10000
+	for i := 0; i < jobs; i++ {
+		at := int64(i * 10)
+		if _, err := s.Admit("vc", 2, at, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vc := s.vcs["vc"]
+	if len(vc.resv) > 4 {
+		t.Errorf("live ledger holds %d reservations after %d ended jobs; compaction is not happening", len(vc.resv), jobs)
+	}
+	if total := len(vc.resv) + len(vc.history); total != jobs {
+		t.Errorf("resv+history = %d, want %d (reservations lost)", total, jobs)
+	}
+	// Full-window utilization still sees every job: 10000 × 2 tokens × 5s.
+	if got := s.Utilization("vc", 0, 1<<40); got != jobs*2*5 {
+		t.Errorf("utilization = %d, want %d", got, jobs*2*5)
+	}
+}
+
+// BenchmarkAdmitSteadyState measures Admit cost in the steady state the
+// compaction exists for: a long stream of jobs over advancing time where
+// only a bounded window is ever live. Before the sorted-ledger rewrite
+// this was O(total-jobs-admitted) per call and degraded without bound.
+func BenchmarkAdmitSteadyState(b *testing.B) {
+	s := NewScheduler()
+	s.AddVC("vc", 16)
+	// Pre-load history so the benchmark measures post-100k-job behavior.
+	at := int64(0)
+	for i := 0; i < 100000; i++ {
+		at += 3
+		if _, err := s.Admit("vc", 1+i%8, at, int64(2+i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += 3
+		if _, err := s.Admit("vc", 1+i%8, at, int64(2+i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cloudviews/internal/analyzer"
 	"cloudviews/internal/catalog"
@@ -144,7 +146,68 @@ func defaultTags(spec JobSpec) []string {
 // in the workload repository. User scripts (plans) are never modified —
 // optimization operates on an internal clone (transparency, §4).
 func (s *Service) Submit(spec JobSpec) (*JobResult, error) {
+	return s.submitAt(spec, s.Clock.Now())
+}
+
+// SubmitBatch runs a batch of jobs through the pipeline with up to
+// concurrency jobs in flight (≤ 1 means GOMAXPROCS), returning results in
+// submission order. This is the paper's operating regime — tens of
+// thousands of concurrent jobs per cluster (§2.1) — where build-build and
+// build-consume coordination (§6.5) is real: in-flight jobs arbitrate
+// materialization through the metadata service's locks, and a view sealed
+// early (§6.4) is visible to every other job in the batch immediately.
+//
+// All jobs in a batch share one submission timestamp (the clock at batch
+// start), modeling a concurrent arrival wave: admission queueing and lock
+// TTLs see the jobs as simultaneous, so a batch job cannot steal a build
+// lock another batch job still holds. Outputs are deterministic; which
+// job of the batch wins a build lock (and therefore pays materialization
+// cost) depends on scheduling, exactly as with concurrent submitters in
+// production.
+//
+// Each job runs against a private clone of its plan, so specs may share
+// subtrees (or whole plans) with each other and with the caller.
+func (s *Service) SubmitBatch(specs []JobSpec, concurrency int) ([]*JobResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if concurrency < 1 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
 	now := s.Clock.Now()
+	// Clone every plan up front, serially: plan nodes memoize derived
+	// state (schemas) in place, which would race if two in-flight jobs
+	// shared nodes.
+	jobs := make([]JobSpec, len(specs))
+	for i, spec := range specs {
+		spec.Root = plan.Clone(spec.Root)
+		jobs[i] = spec
+	}
+	results := make([]*JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = s.submitAt(jobs[i], now)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("core: batch job %d (%s): %w", i, jobs[i].Meta.JobID, err)
+		}
+	}
+	return results, nil
+}
+
+// submitAt is Submit with an explicit submission time, shared by the
+// serial and batched paths.
+func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
 	jr := &JobResult{Spec: spec, Plan: spec.Root, Decision: &optimizer.Decision{}}
 
 	if s.vcEnabled(spec.Meta.VC) {
@@ -200,6 +263,11 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 	for _, b := range dec.ViewsBuilt {
 		intents[b.PreciseSig] = b
 	}
+	// Independent Materialize operators can seal concurrently under the
+	// parallel DAG scheduler, so the hook's bookkeeping takes its own
+	// lock. The maps are read lock-free after ex.Run returns (all workers
+	// have joined by then).
+	var hookMu sync.Mutex
 	sealed := map[string]bool{}
 	var pending []metadata.ViewInfo
 
@@ -224,14 +292,18 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 		}
 		if s.Config.LatePublish {
 			// Ablation mode: hold publication until the job completes.
+			hookMu.Lock()
 			pending = append(pending, info)
+			hookMu.Unlock()
 			return
 		}
 		// Early materialization (§6.4): consumers may use the view while
 		// this job is still running.
 		s.Meta.ReportMaterialized(info)
 		s.changes.recordBuild()
+		hookMu.Lock()
 		sealed[v.PreciseSig] = true
+		hookMu.Unlock()
 	}
 
 	res, err := ex.Run(root, spec.Meta.JobID, now)

@@ -11,7 +11,9 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
@@ -85,10 +87,20 @@ type execState struct {
 	memo map[*plan.Node]partitions
 	now  int64
 	job  string
+	// mu guards the Result fields that operators mutate directly (output
+	// sinks, materialized paths): independent Output/Materialize nodes may
+	// run concurrently under the DAG scheduler.
+	mu sync.Mutex
 }
 
 // Run executes the plan rooted at root. jobID tags provenance of any views
 // materialized; now is the simulated time used for view creation stamps.
+//
+// Independent subtrees execute concurrently on the shared worker pool
+// (see schedule.go); the simulated cost accounting is unaffected. When
+// FailAfter is set, execution falls back to the serial depth-first walk:
+// fault injection crashes "after the Nth operator", which only means
+// something under a deterministic operator completion order.
 func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error) {
 	st := &execState{
 		res: &Result{
@@ -99,13 +111,23 @@ func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error
 		now:  now,
 		job:  jobID,
 	}
-	if _, err := e.run(root, st); err != nil {
+	if e.FailAfter != nil {
+		if _, err := e.run(root, st); err != nil {
+			return nil, err
+		}
+	} else if err := e.runDAG(root, st); err != nil {
 		return nil, err
 	}
-	for _, s := range st.res.NodeStats {
-		st.res.TotalCPU += s.ExclusiveCost
+	// Sum exclusive costs in deterministic plan order: float addition is
+	// order-sensitive in the last bits, and reuse validation compares
+	// TotalCPU across executions exactly.
+	for _, n := range plan.Nodes(root) {
+		st.res.TotalCPU += st.res.NodeStats[n].ExclusiveCost
 	}
 	st.res.Latency = st.res.NodeStats[root].Latency
+	// Materialization completion order varies under the parallel
+	// scheduler; report paths in a canonical order.
+	sort.Strings(st.res.MaterializedPaths)
 	return st.res, nil
 }
 
@@ -214,7 +236,9 @@ func (e *Executor) apply(n *plan.Node, in []partitions, st *execState) (partitio
 		return in[0], OperatorCost(n.Kind, 0, 0, 0), nil
 	case plan.OpOutput:
 		rows := in[0].flatten()
+		st.mu.Lock()
 		st.res.Outputs[n.OutputName] = rows
+		st.mu.Unlock()
 		return in[0], OperatorCost(n.Kind, in[0].rows(), 0, 0), nil
 	case plan.OpMaterialize:
 		return e.applyMaterialize(n, in[0], st)
@@ -244,15 +268,26 @@ func (e *Executor) applyViewScan(n *plan.Node) (partitions, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// The copy here is shallow on purpose: only the outer partition slice
+	// is duplicated, the row slices (and rows) alias the stored view. That
+	// is safe because the engine treats rows as immutable — operators that
+	// reorder or extend rows (sort, exchange, project, process) always
+	// work on freshly flattened slices or newly allocated rows, never in
+	// place on their input. Concurrent consumers of one view therefore
+	// share its partitions without copies; TestViewScanConcurrentConsumers
+	// enforces the no-mutation contract.
 	out := make(partitions, len(v.Partitions))
 	copy(out, v.Partitions)
 	return out, OperatorCost(n.Kind, 0, v.Rows, v.Bytes), nil
 }
 
-// forEachPartition runs fn over every input partition, in parallel when
-// the data is large enough to amortize goroutine startup. Output order is
-// deterministic: fn(i) writes slot i. Expressions and operator state are
-// read-only during evaluation, so per-partition work is race-free.
+// forEachPartition runs fn over every input partition, fanning out
+// through the shared worker pool when the data is large enough to
+// amortize scheduling. Output order is deterministic: fn(i) writes slot i.
+// Expressions and operator state are read-only during evaluation, so
+// per-partition work is race-free. Partitions are claimed by atomic index,
+// so the fan-out occupies at most the pool's worker budget (plus the
+// calling goroutine) rather than one goroutine per partition.
 func forEachPartition(in partitions, fn func(i int, part []data.Row) []data.Row) partitions {
 	out := make(partitions, len(in))
 	if len(in) < 2 || in.rows() < 256 {
@@ -261,14 +296,23 @@ func forEachPartition(in partitions, fn func(i int, part []data.Row) []data.Row)
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	for i, part := range in {
-		wg.Add(1)
-		go func(i int, part []data.Row) {
-			defer wg.Done()
-			out[i] = fn(i, part)
-		}(i, part)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(in) {
+				return
+			}
+			out[i] = fn(i, in[i])
+		}
 	}
+	var wg sync.WaitGroup
+	for helpers := 0; helpers < len(in)-1; helpers++ {
+		if !pool.trySpawn(&wg, work) {
+			break
+		}
+	}
+	work()
 	wg.Wait()
 	return out
 }
@@ -704,7 +748,9 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) 
 	if e.OnViewMaterialized != nil {
 		e.OnViewMaterialized(v)
 	}
+	st.mu.Lock()
 	st.res.MaterializedPaths = append(st.res.MaterializedPaths, n.MatPath)
+	st.mu.Unlock()
 	return in, OperatorCost(n.Kind, 0, rows, in.bytes()), nil
 }
 

@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pool is the package-level worker pool shared by every executor in the
+// process. Both the DAG stage scheduler (schedule.go) and per-partition
+// operator fan-out (forEachPartition) draw from the same token budget,
+// sized to the machine, so concurrent jobs cannot multiply goroutines: a
+// 256-partition table never spawns 256 goroutines per operator, and a
+// batch of in-flight jobs shares one budget instead of stacking pools.
+var pool = newWorkerPool(runtime.GOMAXPROCS(0))
+
+type workerPool struct {
+	tokens chan struct{}
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	return &workerPool{tokens: make(chan struct{}, size)}
+}
+
+// trySpawn runs fn on a pool worker if a token is free and returns true;
+// otherwise it returns false and the caller should run fn inline. The
+// inline fallback (rather than queueing) keeps the pool deadlock-free
+// under nesting: an operator already running on a pool worker can fan its
+// partitions out through the same pool without ever waiting on itself.
+func (p *workerPool) trySpawn(wg *sync.WaitGroup, fn func()) bool {
+	select {
+	case p.tokens <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-p.tokens }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
+// size returns the pool's worker budget.
+func (p *workerPool) size() int { return cap(p.tokens) }

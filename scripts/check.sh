@@ -1,0 +1,14 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, tests, race-detector runs on
+# the concurrent packages, and a 1-iteration benchmark smoke pass.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
+# Smoke-run every benchmark once; -short skips the heavyweight runs
+# (full TPC-DS) so this finishes quickly.
+go test -run='^$' -bench=. -benchtime=1x -short ./...
