@@ -1,7 +1,10 @@
-.PHONY: check test race bench
+.PHONY: check test race bench bench-json
 
 check:
 	./scripts/check.sh
+
+bench-json:
+	./scripts/bench.sh
 
 test:
 	go build ./... && go test ./...

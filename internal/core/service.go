@@ -325,6 +325,22 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 	for _, p := range pending {
 		s.Meta.ReportMaterialized(p)
 		s.changes.recordBuild()
+		sealed[p.PreciseSig] = true
+	}
+	if len(sealed) < len(intents) {
+		// An intended view never sealed: this job's Materialize lost the
+		// first-writer-wins race to a builder that took over its expired
+		// lock. Release any lock still held and keep only the views this
+		// job actually published in its decision.
+		kept := dec.ViewsBuilt[:0]
+		for _, b := range dec.ViewsBuilt {
+			if sealed[b.PreciseSig] {
+				kept = append(kept, b)
+			} else {
+				s.Meta.AbortMaterialize(b.PreciseSig, spec.Meta.JobID)
+			}
+		}
+		dec.ViewsBuilt = kept
 	}
 	return res, nil
 }

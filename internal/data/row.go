@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -18,23 +19,34 @@ func (r Row) Clone() Row {
 
 // Hash64 hashes the subset of columns named by idx; with no indexes it
 // hashes the whole row. Used for shuffles, hash joins, and grouping.
+//
+// Per-column hashes are combined with a rotate-xor-multiply step, so the
+// mix is order-sensitive — (a,b) and (b,a) land in different buckets — and
+// a duplicated key column cannot cancel itself back to the seed. The
+// finalizer forces full avalanche: shuffle partitioning reduces the hash
+// with `% count` for small power-of-two counts, so the low bits must
+// depend on every input bit.
 func (r Row) Hash64(idx ...int) uint64 {
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
+	const seed = 14695981039346656037
+	h := uint64(seed)
 	mix := func(v Value) {
-		h ^= v.Hash64()
-		h *= prime64
+		h = (bits.RotateLeft64(h, 25) ^ v.Hash64()) * 0x9e3779b97f4a7c15
 	}
 	if len(idx) == 0 {
 		for _, v := range r {
 			mix(v)
 		}
-		return h
+	} else {
+		for _, i := range idx {
+			mix(r[i])
+		}
 	}
-	for _, i := range idx {
-		mix(r[i])
-	}
+	// fmix64 finalizer (64-bit MurmurHash3).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 

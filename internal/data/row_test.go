@@ -34,6 +34,42 @@ func TestRowHashSubset(t *testing.T) {
 	}
 }
 
+func TestRowHashMixIsOrderSensitive(t *testing.T) {
+	// Symmetric keys must not collide: (a,b) vs (b,a).
+	ab := Row{Int(7), Int(42)}
+	ba := Row{Int(42), Int(7)}
+	if ab.Hash64() == ba.Hash64() {
+		t.Error("swapped key columns collide")
+	}
+	// A duplicated key column must not cancel itself out: hashing the same
+	// column twice must still depend on the column's value.
+	x := Row{Int(7)}
+	y := Row{Int(42)}
+	if x.Hash64(0, 0) == y.Hash64(0, 0) {
+		t.Error("duplicated key column cancels to a value-independent hash")
+	}
+	if x.Hash64(0, 0) == (Row{}).Hash64() {
+		t.Error("duplicated key column collapses to the empty-row hash")
+	}
+}
+
+func TestRowHashLowBitsSpread(t *testing.T) {
+	// Shuffle partitioning buckets rows with Hash64 % count for small
+	// power-of-two counts, so the low bits must avalanche. Sequential keys
+	// spread over 16 buckets must come out near-uniform.
+	const n, buckets = 4096, 16
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[Row{Int(int64(i))}.Hash64(0)%buckets]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d has %d of %d rows (want ≈%d)", b, c, n, want)
+		}
+	}
+}
+
 func TestCompareRowsAndSort(t *testing.T) {
 	rows := []Row{
 		{Int(2), String_("b")},

@@ -133,6 +133,31 @@ func (v Value) String() string {
 	}
 }
 
+// AppendString appends the String rendering of v to dst and returns the
+// extended slice. Kept byte-identical to String: canonical plan encodings
+// embed values, so the two renderings must never diverge.
+func (v Value) AppendString(dst []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(dst, "NULL"...)
+	case KindInt:
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case KindString:
+		return append(dst, v.S...)
+	case KindBool:
+		if v.I != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case KindDate:
+		return strconv.AppendInt(append(dst, 'd'), v.I, 10)
+	default:
+		return append(dst, '?')
+	}
+}
+
 // numericKind reports whether k participates in numeric comparison.
 func numericKind(k Kind) bool {
 	return k == KindInt || k == KindFloat || k == KindDate || k == KindBool

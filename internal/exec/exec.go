@@ -418,7 +418,9 @@ func applyExchange(n *plan.Node, in partitions) (partitions, float64, error) {
 // applyJoin implements an inner equi-join. The build side is the right
 // input; output rows are left ++ right, partitioned like the left input.
 func applyJoin(n *plan.Node, left, right partitions) (partitions, float64, error) {
-	build := map[uint64][]data.Row{}
+	// The build map holds every right-side row; sizing it up front avoids
+	// rehash churn on large partitions.
+	build := make(map[uint64][]data.Row, right.rows())
 	for _, part := range right {
 		for _, r := range part {
 			h := r.Hash64(n.RightKeys...)
@@ -547,7 +549,10 @@ func normAggValue(v data.Value) data.Value {
 
 func applyHashAgg(n *plan.Node, in partitions) (partitions, float64, error) {
 	inSchema := n.Children[0].Schema()
-	groups := map[uint64][]*aggState{}
+	// Size the group map from the input row count, discounted for grouping:
+	// far fewer groups than rows is the norm, but a fraction of the input
+	// is a much better starting size than an empty map.
+	groups := make(map[uint64][]*aggState, in.rows()/8+16)
 	for _, part := range in {
 		for _, r := range part {
 			h := r.Hash64(n.GroupBy...)
@@ -742,8 +747,15 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) 
 		Props:         n.MatProps,
 		Partitions:    viewParts,
 	}
-	if err := e.Store.Write(v); err != nil {
+	created, err := e.Store.Write(v)
+	if err != nil {
 		return nil, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
+	}
+	if !created {
+		// Lost the first-writer-wins race to another builder (this job's
+		// build lock expired and both finished): the winner's copy is
+		// byte-identical, so drop ours and let the winner publish.
+		return in, OperatorCost(n.Kind, 0, rows, in.bytes()), nil
 	}
 	if e.OnViewMaterialized != nil {
 		e.OnViewMaterialized(v)

@@ -9,8 +9,8 @@
 package expr
 
 import (
-	"bytes"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cloudviews/internal/data"
@@ -34,8 +34,10 @@ const (
 type Expr interface {
 	// Eval evaluates the expression against a row.
 	Eval(row data.Row) data.Value
-	// Encode appends the canonical encoding in the given mode.
-	Encode(w *bytes.Buffer, mode Mode)
+	// AppendTo appends the canonical encoding in the given mode to dst and
+	// returns the extended slice, fmt-free so the signature hot path does
+	// not allocate per node.
+	AppendTo(dst []byte, mode Mode) []byte
 	// ResultKind infers the static result kind given the input schema.
 	ResultKind(schema data.Schema) data.Kind
 	// String renders the expression for debugging and plan display.
@@ -55,9 +57,11 @@ func C(index int, name string) *Col { return &Col{Index: index, Name: name} }
 // Eval implements Expr.
 func (c *Col) Eval(row data.Row) data.Value { return row[c.Index] }
 
-// Encode implements Expr.
-func (c *Col) Encode(w *bytes.Buffer, _ Mode) {
-	fmt.Fprintf(w, "(col %d)", c.Index)
+// AppendTo implements Expr.
+func (c *Col) AppendTo(dst []byte, _ Mode) []byte {
+	dst = append(dst, "(col "...)
+	dst = strconv.AppendInt(dst, int64(c.Index), 10)
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -88,9 +92,13 @@ func Lit(v data.Value) *Const { return &Const{V: v} }
 // Eval implements Expr.
 func (c *Const) Eval(_ data.Row) data.Value { return c.V }
 
-// Encode implements Expr.
-func (c *Const) Encode(w *bytes.Buffer, _ Mode) {
-	fmt.Fprintf(w, "(const %s %s)", c.V.K, c.V)
+// AppendTo implements Expr.
+func (c *Const) AppendTo(dst []byte, _ Mode) []byte {
+	dst = append(dst, "(const "...)
+	dst = append(dst, c.V.K.String()...)
+	dst = append(dst, ' ')
+	dst = c.V.AppendString(dst)
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -114,13 +122,18 @@ func P(name string, v data.Value) *Param { return &Param{Name: name, V: v} }
 // Eval implements Expr.
 func (p *Param) Eval(_ data.Row) data.Value { return p.V }
 
-// Encode implements Expr.
-func (p *Param) Encode(w *bytes.Buffer, mode Mode) {
+// AppendTo implements Expr.
+func (p *Param) AppendTo(dst []byte, mode Mode) []byte {
+	dst = append(dst, "(param @"...)
+	dst = append(dst, p.Name...)
 	if mode == Normalized {
-		fmt.Fprintf(w, "(param @%s)", p.Name)
-		return
+		return append(dst, ')')
 	}
-	fmt.Fprintf(w, "(param @%s %s %s)", p.Name, p.V.K, p.V)
+	dst = append(dst, ' ')
+	dst = append(dst, p.V.K.String()...)
+	dst = append(dst, ' ')
+	dst = p.V.AppendString(dst)
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -246,13 +259,15 @@ func evalArith(op Op, l, r data.Value) data.Value {
 	return data.Null()
 }
 
-// Encode implements Expr.
-func (b *Bin) Encode(w *bytes.Buffer, mode Mode) {
-	fmt.Fprintf(w, "(%s ", b.Op)
-	b.L.Encode(w, mode)
-	w.WriteByte(' ')
-	b.R.Encode(w, mode)
-	w.WriteByte(')')
+// AppendTo implements Expr.
+func (b *Bin) AppendTo(dst []byte, mode Mode) []byte {
+	dst = append(dst, '(')
+	dst = append(dst, b.Op.String()...)
+	dst = append(dst, ' ')
+	dst = b.L.AppendTo(dst, mode)
+	dst = append(dst, ' ')
+	dst = b.R.AppendTo(dst, mode)
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -281,11 +296,11 @@ type Not struct {
 // Eval implements Expr.
 func (n *Not) Eval(row data.Row) data.Value { return data.Bool(!n.E.Eval(row).Truth()) }
 
-// Encode implements Expr.
-func (n *Not) Encode(w *bytes.Buffer, mode Mode) {
-	w.WriteString("(not ")
-	n.E.Encode(w, mode)
-	w.WriteByte(')')
+// AppendTo implements Expr.
+func (n *Not) AppendTo(dst []byte, mode Mode) []byte {
+	dst = append(dst, "(not "...)
+	dst = n.E.AppendTo(dst, mode)
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -371,14 +386,15 @@ func evalFunc(name string, args []data.Value) data.Value {
 	}
 }
 
-// Encode implements Expr.
-func (f *Func) Encode(w *bytes.Buffer, mode Mode) {
-	fmt.Fprintf(w, "(fn %s", f.Name)
+// AppendTo implements Expr.
+func (f *Func) AppendTo(dst []byte, mode Mode) []byte {
+	dst = append(dst, "(fn "...)
+	dst = append(dst, f.Name...)
 	for _, a := range f.Args {
-		w.WriteByte(' ')
-		a.Encode(w, mode)
+		dst = append(dst, ' ')
+		dst = a.AppendTo(dst, mode)
 	}
-	w.WriteByte(')')
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -441,18 +457,19 @@ func (u *UDF) Eval(row data.Row) data.Value {
 	return data.Int(int64(h & 0x7fffffffffffffff))
 }
 
-// Encode implements Expr.
-func (u *UDF) Encode(w *bytes.Buffer, mode Mode) {
+// AppendTo implements Expr.
+func (u *UDF) AppendTo(dst []byte, mode Mode) []byte {
+	dst = append(dst, "(udf "...)
+	dst = append(dst, u.Name...)
 	if mode == Precise {
-		fmt.Fprintf(w, "(udf %s #%s", u.Name, u.CodeHash)
-	} else {
-		fmt.Fprintf(w, "(udf %s", u.Name)
+		dst = append(dst, " #"...)
+		dst = append(dst, u.CodeHash...)
 	}
 	for _, a := range u.Args {
-		w.WriteByte(' ')
-		a.Encode(w, mode)
+		dst = append(dst, ' ')
+		dst = a.AppendTo(dst, mode)
 	}
-	w.WriteByte(')')
+	return append(dst, ')')
 }
 
 // ResultKind implements Expr.
@@ -469,7 +486,5 @@ func (u *UDF) String() string {
 
 // EncodeString returns the canonical encoding of e in the given mode.
 func EncodeString(e Expr, mode Mode) string {
-	var b bytes.Buffer
-	e.Encode(&b, mode)
-	return b.String()
+	return string(e.AppendTo(nil, mode))
 }

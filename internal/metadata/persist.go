@@ -28,20 +28,21 @@ const (
 	snapshotVersion = 1
 )
 
-// Save writes a snapshot of the service's durable state.
+// Save writes a snapshot of the service's durable state. Reading one
+// published state generation makes the snapshot internally consistent
+// without blocking concurrent writers.
 func (s *Service) Save(w io.Writer) error {
-	s.mu.Lock()
+	st := s.cur.Load()
 	snap := snapshot{Format: snapshotFormat, Version: snapshotVersion}
-	for _, a := range s.annotations {
+	for _, a := range st.annotations {
 		snap.Annotations = append(snap.Annotations, *a)
 	}
-	for _, v := range s.views {
+	for _, v := range st.views {
 		snap.Views = append(snap.Views, *v)
 	}
-	for vc := range s.offlineVCs {
+	for vc := range st.offlineVCs {
 		snap.OfflineVCs = append(snap.OfflineVCs, vc)
 	}
-	s.mu.Unlock()
 	sort.Slice(snap.Annotations, func(i, j int) bool { return snap.Annotations[i].NormSig < snap.Annotations[j].NormSig })
 	sort.Slice(snap.Views, func(i, j int) bool { return snap.Views[i].PreciseSig < snap.Views[j].PreciseSig })
 	sort.Strings(snap.OfflineVCs)

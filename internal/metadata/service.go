@@ -9,11 +9,19 @@
 // materialized and available. The production system backs this with
 // AzureSQL; here the same protocol runs over an in-process store, with an
 // optional net/http front end in this package for service-style deployment.
+//
+// Reads vastly outnumber writes — every submitted job performs a lookup,
+// while writes happen once per analysis reload or materialized view — so
+// the read paths (RelevantViews, Annotation, LookupView, Views) are served
+// from an immutable copy-on-write state swapped atomically by writers.
+// Readers never take the mutex; the mutex only serializes writers and the
+// build-lock table, which is inherently read-modify-write.
 package metadata
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
@@ -65,30 +73,58 @@ type buildLock struct {
 	expiresAt int64
 }
 
+// state is one immutable generation of the read-mostly service state.
+// Everything reachable from a published state is frozen: writers build
+// fresh maps (sharing only whole sub-structures that did not change) and
+// install the new generation with one atomic pointer swap.
+type state struct {
+	annotations map[string]*Annotation  // by normalized signature
+	tagAnns     map[string][]*Annotation // tag -> annotations, sorted by NormSig
+	views       map[string]*ViewInfo    // by precise signature
+	offlineVCs  map[string]bool         // VCs configured for offline materialization (§6.2)
+}
+
+var emptyState = &state{
+	annotations: map[string]*Annotation{},
+	tagAnns:     map[string][]*Annotation{},
+	views:       map[string]*ViewInfo{},
+	offlineVCs:  map[string]bool{},
+}
+
 // Service is the concurrent metadata store. The zero value is not usable;
 // call NewService.
 type Service struct {
-	mu          sync.Mutex
-	annotations map[string]*Annotation // by normalized signature
-	tagIndex    map[string][]string    // tag -> normalized signatures
-	locks       map[string]buildLock   // by precise signature
-	views       map[string]*ViewInfo   // by precise signature
-	offlineVCs  map[string]bool        // VCs configured for offline materialization (§6.2)
+	// mu serializes writers and guards the build-lock table. Read paths
+	// never acquire it.
+	mu    sync.Mutex
+	cur   atomic.Pointer[state]
+	locks map[string]buildLock // by precise signature
 
 	// Counters for the overheads evaluation (§7.3).
-	lookups   int64
-	proposals int64
+	lookups   atomic.Int64
+	proposals atomic.Int64
 }
 
 // NewService returns an empty metadata service.
 func NewService() *Service {
-	return &Service{
-		annotations: map[string]*Annotation{},
-		tagIndex:    map[string][]string{},
-		locks:       map[string]buildLock{},
-		views:       map[string]*ViewInfo{},
-		offlineVCs:  map[string]bool{},
+	s := &Service{locks: map[string]buildLock{}}
+	s.cur.Store(emptyState)
+	return s
+}
+
+// clone returns a shallow copy of st whose maps can be swapped out
+// individually by the caller before publishing.
+func (st *state) clone() *state {
+	cp := *st
+	return &cp
+}
+
+func copyViews(m map[string]*ViewInfo) map[string]*ViewInfo {
+	out := make(map[string]*ViewInfo, len(m)+1)
+	for k, v := range m {
+		out[k] = v
 	}
+	return out
 }
 
 // SetOfflineVC configures a VC for offline view materialization (§6.2):
@@ -97,11 +133,18 @@ func NewService() *Service {
 func (s *Service) SetOfflineVC(vc string, offline bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if offline {
-		s.offlineVCs[vc] = true
-	} else {
-		delete(s.offlineVCs, vc)
+	st := s.cur.Load().clone()
+	vcs := make(map[string]bool, len(st.offlineVCs)+1)
+	for k, v := range st.offlineVCs {
+		vcs[k] = v
 	}
+	if offline {
+		vcs[vc] = true
+	} else {
+		delete(vcs, vc)
+	}
+	st.offlineVCs = vcs
+	s.cur.Store(st)
 }
 
 // LoadAnalysis installs the analyzer's output, replacing all previous
@@ -109,54 +152,100 @@ func (s *Service) SetOfflineVC(vc string, offline bool) {
 // and in-flight locks are preserved: reloading analysis must not orphan
 // views that jobs are already using.
 func (s *Service) LoadAnalysis(anns []Annotation) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.annotations = make(map[string]*Annotation, len(anns))
-	s.tagIndex = map[string][]string{}
+	annotations := make(map[string]*Annotation, len(anns))
+	tagAnns := make(map[string][]*Annotation)
 	for i := range anns {
 		a := anns[i]
-		s.annotations[a.NormSig] = &a
+		annotations[a.NormSig] = &a
+	}
+	for _, a := range annotations {
 		for _, tag := range a.Tags {
-			s.tagIndex[tag] = append(s.tagIndex[tag], a.NormSig)
+			tagAnns[tag] = append(tagAnns[tag], a)
 		}
 	}
+	// Pre-sort each tag's list so RelevantViews can merge without sorting
+	// or deduplicating per call.
+	for _, list := range tagAnns {
+		sort.Slice(list, func(i, j int) bool { return list[i].NormSig < list[j].NormSig })
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load().clone()
+	st.annotations = annotations
+	st.tagAnns = tagAnns
+	s.cur.Store(st)
 }
 
 // RelevantViews is the per-job lookup (Figure 9, steps 1–2): it returns
-// every annotation whose tags intersect the job's tags, in one round trip.
-// The result may contain annotations whose signatures do not occur in the
-// job (false positives); the optimizer matches actual signatures. If the
-// requesting job's VC is configured for offline materialization, the
-// returned annotations are marked Offline (§6.2).
+// every annotation whose tags intersect the job's tags, in one round trip,
+// ordered by normalized signature. The result may contain annotations
+// whose signatures do not occur in the job (false positives); the
+// optimizer matches actual signatures. If the requesting job's VC is
+// configured for offline materialization, the returned annotations are
+// marked Offline (§6.2).
 func (s *Service) RelevantViews(vc string, jobTags []string) []Annotation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.lookups++
-	offline := s.offlineVCs[vc]
-	seen := map[string]bool{}
-	var out []Annotation
+	s.lookups.Add(1)
+	st := s.cur.Load()
+	offline := st.offlineVCs[vc]
+
+	// Collect the pre-sorted per-tag lists; the common cases (zero or one
+	// non-empty tag) need no merge state at all.
+	var listsBuf [8][]*Annotation
+	lists := listsBuf[:0]
+	total := 0
 	for _, tag := range jobTags {
-		for _, sig := range s.tagIndex[tag] {
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			a := *s.annotations[sig]
-			if offline {
-				a.Offline = true
-			}
-			out = append(out, a)
+		if l := st.tagAnns[tag]; len(l) > 0 {
+			lists = append(lists, l)
+			total += len(l)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].NormSig < out[j].NormSig })
+	if len(lists) == 0 {
+		return nil
+	}
+	out := make([]Annotation, 0, total)
+	if len(lists) == 1 {
+		for _, a := range lists[0] {
+			out = append(out, *a)
+		}
+	} else {
+		// K-way merge of the NormSig-sorted lists. Annotations are unique
+		// per NormSig, so equal heads are the same annotation reached via
+		// different tags: emitting the minimum once and advancing every
+		// list holding it yields the sorted, deduplicated union.
+		var idxBuf [8]int
+		idx := idxBuf[:len(lists)]
+		if len(lists) > len(idxBuf) {
+			idx = make([]int, len(lists))
+		}
+		for {
+			var min *Annotation
+			for i, l := range lists {
+				if idx[i] < len(l) && (min == nil || l[idx[i]].NormSig < min.NormSig) {
+					min = l[idx[i]]
+				}
+			}
+			if min == nil {
+				break
+			}
+			out = append(out, *min)
+			for i, l := range lists {
+				if idx[i] < len(l) && l[idx[i]].NormSig == min.NormSig {
+					idx[i]++
+				}
+			}
+		}
+	}
+	if offline {
+		for i := range out {
+			out[i].Offline = true
+		}
+	}
 	return out
 }
 
 // Annotation returns the annotation for a normalized signature, if any.
 func (s *Service) Annotation(normSig string) (Annotation, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.annotations[normSig]
+	a, ok := s.cur.Load().annotations[normSig]
 	if !ok {
 		return Annotation{}, false
 	}
@@ -169,17 +258,18 @@ func (s *Service) Annotation(normSig string) (Annotation, bool) {
 // now + the annotation's mined average runtime, so a crashed builder
 // cannot block materialization forever (fault tolerance, §6.1).
 func (s *Service) ProposeMaterialize(normSig, preciseSig, jobID string, now int64) bool {
+	s.proposals.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.proposals++
-	if _, exists := s.views[preciseSig]; exists {
+	st := s.cur.Load()
+	if _, exists := st.views[preciseSig]; exists {
 		return false
 	}
 	if l, held := s.locks[preciseSig]; held && l.expiresAt > now && l.jobID != jobID {
 		return false
 	}
 	ttl := int64(60)
-	if a, ok := s.annotations[normSig]; ok && a.AvgRuntime > 0 {
+	if a, ok := st.annotations[normSig]; ok && a.AvgRuntime > 0 {
 		ttl = int64(a.AvgRuntime) + 1
 	}
 	s.locks[preciseSig] = buildLock{jobID: jobID, expiresAt: now + ttl}
@@ -194,8 +284,12 @@ func (s *Service) ReportMaterialized(v ViewInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.locks, v.PreciseSig)
+	st := s.cur.Load().clone()
+	views := copyViews(st.views)
 	vv := v
-	s.views[v.PreciseSig] = &vv
+	views[v.PreciseSig] = &vv
+	st.views = views
+	s.cur.Store(st)
 }
 
 // AbortMaterialize releases a lock held by jobID without publishing a
@@ -210,9 +304,7 @@ func (s *Service) AbortMaterialize(preciseSig, jobID string) {
 
 // LookupView returns the available view for a precise signature.
 func (s *Service) LookupView(preciseSig string) (ViewInfo, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.views[preciseSig]
+	v, ok := s.cur.Load().views[preciseSig]
 	if !ok {
 		return ViewInfo{}, false
 	}
@@ -221,10 +313,9 @@ func (s *Service) LookupView(preciseSig string) (ViewInfo, bool) {
 
 // Views returns all available views, ordered by path.
 func (s *Service) Views() []ViewInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ViewInfo, 0, len(s.views))
-	for _, v := range s.views {
+	st := s.cur.Load()
+	out := make([]ViewInfo, 0, len(st.views))
+	for _, v := range st.views {
 		out = append(out, *v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
@@ -238,13 +329,25 @@ func (s *Service) Views() []ViewInfo {
 func (s *Service) PurgeExpired(now int64) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st := s.cur.Load()
 	var paths []string
-	for sig, v := range s.views {
+	for _, v := range st.views {
 		if v.ExpiresAt <= now {
 			paths = append(paths, v.Path)
-			delete(s.views, sig)
 		}
 	}
+	if len(paths) == 0 {
+		return nil
+	}
+	cp := st.clone()
+	views := make(map[string]*ViewInfo, len(st.views))
+	for sig, v := range st.views {
+		if v.ExpiresAt > now {
+			views[sig] = v
+		}
+	}
+	cp.views = views
+	s.cur.Store(cp)
 	sort.Strings(paths)
 	return paths
 }
@@ -253,13 +356,23 @@ func (s *Service) PurgeExpired(now int64) []string {
 func (s *Service) Unregister(preciseSig string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.views, preciseSig)
+	st := s.cur.Load()
+	if _, ok := st.views[preciseSig]; !ok {
+		return
+	}
+	cp := st.clone()
+	views := copyViews(st.views)
+	delete(views, preciseSig)
+	cp.views = views
+	s.cur.Store(cp)
 }
 
 // Stats reports service counters: annotation count, available views,
 // held locks, lookups served, and proposals handled.
 func (s *Service) Stats() (annotations, views, locks int, lookups, proposals int64) {
+	st := s.cur.Load()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.annotations), len(s.views), len(s.locks), s.lookups, s.proposals
+	locks = len(s.locks)
+	s.mu.Unlock()
+	return len(st.annotations), len(st.views), locks, s.lookups.Load(), s.proposals.Load()
 }

@@ -56,8 +56,10 @@ type Optimizer struct {
 //     subgraph in a Materialize operator enforcing the mined physical
 //     design, up to the per-job limit.
 //
-// The input plan is never modified; the returned plan shares no mutable
-// state with it. now is the simulated time used for lock acquisition.
+// The input plan is never modified. Both rewrite tasks are copy-on-write:
+// the returned plan shares every untouched subtree with the input, and a
+// job with no reuse opportunities gets the input plan back without copying
+// a single node. now is the simulated time used for lock acquisition.
 func (o *Optimizer) Optimize(root *plan.Node, jobID string, anns []metadata.Annotation, now int64) (*plan.Node, *Decision) {
 	dec := &Decision{}
 	annByNorm := make(map[string]metadata.Annotation, len(anns))
@@ -69,10 +71,15 @@ func (o *Optimizer) Optimize(root *plan.Node, jobID string, anns []metadata.Anno
 		return root, dec
 	}
 
+	// One signature computer serves all passes: copy-on-write rewrites
+	// alias copied nodes to their originals (a view scan hashes to the
+	// computation it replaced, so copies denote identical signatures),
+	// which makes every later pass hash each subgraph at most once.
 	comp := signature.NewComputer()
-	rewritten := o.matchViews(plan.Clone(root), comp, annByNorm, dec)
-	final := o.injectMaterializations(rewritten, jobID, annByNorm, dec, now)
-	if len(dec.ViewsBuilt) > 0 {
+	missed := map[string]bool{}
+	rewritten := o.matchViews(root, comp, annByNorm, dec, missed)
+	final := o.injectMaterializations(rewritten, jobID, annByNorm, dec, now, comp, missed)
+	if len(dec.ViewsBuilt) > 0 && (len(missed) > 0 || len(dec.ViewsRejected) > 0) {
 		// Figure 10's closing step: re-optimize the new plan. The
 		// injected output operators changed the tree, so the plan search
 		// runs once more over it (this is the paper's +28% optimizer-time
@@ -80,8 +87,15 @@ func (o *Optimizer) Optimize(root *plan.Node, jobID string, anns []metadata.Anno
 		// costs less than a plain optimization). A scratch decision
 		// absorbs re-detections; only genuinely new matches (a view a
 		// concurrent job published between the passes) are kept.
+		//
+		// The pass is skipped when it provably cannot add a match: every
+		// annotated subgraph that lacked a view is now covered by a build
+		// lock this job holds (no concurrent job can publish it), and
+		// nothing was cost-rejected (an injected materialization raises an
+		// enclosing subgraph's recompute estimate, which can flip a
+		// rejection, so rejections force the re-match).
 		scratch := &Decision{}
-		final = o.matchViews(final, signature.NewComputer(), annByNorm, scratch)
+		final = o.matchViews(final, comp, annByNorm, scratch, nil)
 		dec.ViewsUsed = append(dec.ViewsUsed, scratch.ViewsUsed...)
 	}
 	dec.EstimatedCost = o.Est.Estimate(final).Cost
@@ -89,8 +103,12 @@ func (o *Optimizer) Optimize(root *plan.Node, jobID string, anns []metadata.Anno
 }
 
 // matchViews is the top-down matching task: it tries the current node
-// before descending, so the largest materialized views win (§6.3).
-func (o *Optimizer) matchViews(n *plan.Node, comp *signature.Computer, anns map[string]metadata.Annotation, dec *Decision) *plan.Node {
+// before descending, so the largest materialized views win (§6.3). The
+// rewrite is copy-on-write: nodes are copied only on the path from a
+// replacement to the root, and the input tree is never mutated. missed,
+// when non-nil, collects precise signatures of annotated subgraphs that
+// had no materialized view yet — the candidates a later pass could serve.
+func (o *Optimizer) matchViews(n *plan.Node, comp *signature.Computer, anns map[string]metadata.Annotation, dec *Decision, missed map[string]bool) *plan.Node {
 	if n.Kind != plan.OpExtract && n.Kind != plan.OpViewScan && !n.Transparent() {
 		sig := comp.Of(n)
 		if _, ok := anns[sig.Normalized]; ok {
@@ -98,11 +116,24 @@ func (o *Optimizer) matchViews(n *plan.Node, comp *signature.Computer, anns map[
 				if scan := o.tryUseView(n, sig, v, dec); scan != nil {
 					return scan
 				}
+			} else if missed != nil {
+				missed[sig.Precise] = true
 			}
 		}
 	}
+	var cp *plan.Node
 	for i, c := range n.Children {
-		n.Children[i] = o.matchViews(c, comp, anns, dec)
+		r := o.matchViews(c, comp, anns, dec, missed)
+		if r != c && cp == nil {
+			cp = n.CopyWithChildren()
+			comp.Alias(n, cp)
+		}
+		if cp != nil {
+			cp.Children[i] = r
+		}
+	}
+	if cp != nil {
+		return cp
 	}
 	return n
 }
@@ -126,49 +157,77 @@ func (o *Optimizer) tryUseView(n *plan.Node, sig signature.Signature, v metadata
 
 // injectMaterializations is the follow-up task: bottom-up (post-order), so
 // smaller subgraphs — which typically overlap more (§6.2) — are proposed
-// first, bounded by the per-job limit.
-func (o *Optimizer) injectMaterializations(root *plan.Node, jobID string, anns map[string]metadata.Annotation, dec *Decision, now int64) *plan.Node {
-	comp := signature.NewComputer()
+// first, bounded by the per-job limit. Like matchViews it is copy-on-write
+// with one visit per distinct node: only ancestors of an injected
+// Materialize are copied. Precise signatures of candidates this job
+// acquired a build lock for are removed from missed — no concurrent job
+// can publish those views while the lock is held.
+func (o *Optimizer) injectMaterializations(root *plan.Node, jobID string, anns map[string]metadata.Annotation, dec *Decision, now int64, comp *signature.Computer, missed map[string]bool) *plan.Node {
 	builds := 0
-	return plan.Rewrite(root, func(n *plan.Node) *plan.Node {
-		if n.Kind == plan.OpExtract || n.Kind == plan.OpViewScan ||
-			n.Kind == plan.OpOutput || n.Transparent() {
-			return n
+	memo := map[*plan.Node]*plan.Node{}
+	var rec func(*plan.Node) *plan.Node
+	rec = func(n *plan.Node) *plan.Node {
+		if n == nil {
+			return nil
 		}
-		sig := comp.Of(n)
-		ann, ok := anns[sig.Normalized]
-		if !ok {
-			return n
+		if r, ok := memo[n]; ok {
+			return r
 		}
-		if ann.Offline {
-			// Offline-mode annotations (§6.2) are materialized by the
-			// ahead-of-workload phase, never inline — online jobs only
-			// consume them (handled by the matching task above).
-			return n
+		cur := n
+		var cp *plan.Node
+		for i, ch := range n.Children {
+			r := rec(ch)
+			if r != ch && cp == nil {
+				cp = n.CopyWithChildren()
+				comp.Alias(n, cp)
+				cur = cp
+			}
+			if cp != nil {
+				cp.Children[i] = r
+			}
 		}
-		if builds >= o.MaxMaterializePerJob {
-			return n
+		res := cur
+		switch {
+		case n.Kind == plan.OpExtract || n.Kind == plan.OpViewScan ||
+			n.Kind == plan.OpOutput || n.Transparent():
+		default:
+			sig := comp.Of(cur)
+			ann, ok := anns[sig.Normalized]
+			switch {
+			case !ok:
+			case ann.Offline:
+				// Offline-mode annotations (§6.2) are materialized by the
+				// ahead-of-workload phase, never inline — online jobs only
+				// consume them (handled by the matching task above).
+			case builds >= o.MaxMaterializePerJob:
+			case o.viewExists(sig.Precise):
+				// Already materialized (maybe used above, maybe rejected by
+				// cost); never rebuild.
+			case !o.Meta.ProposeMaterialize(sig.Normalized, sig.Precise, jobID, now):
+				// Another concurrent job holds the build lock.
+			default:
+				builds++
+				delete(missed, sig.Precise)
+				path := storage.PathFor(sig.Precise, jobID)
+				dec.ViewsBuilt = append(dec.ViewsBuilt, BuildIntent{
+					PreciseSig:  sig.Precise,
+					NormSig:     sig.Normalized,
+					Path:        path,
+					Props:       ann.Props,
+					ExpiryDelta: ann.ExpiryDelta,
+				})
+				res = cur.Materialize(path, sig.Precise, sig.Normalized, ann.Props)
+			}
 		}
-		if _, exists := o.Meta.LookupView(sig.Precise); exists {
-			// Already materialized (maybe used above, maybe rejected by
-			// cost); never rebuild.
-			return n
-		}
-		if !o.Meta.ProposeMaterialize(sig.Normalized, sig.Precise, jobID, now) {
-			// Another concurrent job holds the build lock.
-			return n
-		}
-		builds++
-		path := storage.PathFor(sig.Precise, jobID)
-		dec.ViewsBuilt = append(dec.ViewsBuilt, BuildIntent{
-			PreciseSig:  sig.Precise,
-			NormSig:     sig.Normalized,
-			Path:        path,
-			Props:       ann.Props,
-			ExpiryDelta: ann.ExpiryDelta,
-		})
-		return n.Materialize(path, sig.Precise, sig.Normalized, ann.Props)
-	})
+		memo[n] = res
+		return res
+	}
+	return rec(root)
+}
+
+func (o *Optimizer) viewExists(preciseSig string) bool {
+	_, exists := o.Meta.LookupView(preciseSig)
+	return exists
 }
 
 // OfflineViewPlans extracts materialize-only plans for annotated subgraphs

@@ -1,13 +1,14 @@
 package plan
 
 import (
-	"bytes"
 	"fmt"
+	"strconv"
 
 	"cloudviews/internal/expr"
 )
 
-// Encode appends the canonical encoding of the subgraph rooted at n.
+// AppendEncode appends the canonical encoding of the subgraph rooted at n
+// to dst and returns the extended slice.
 //
 // In expr.Precise mode the encoding includes input GUIDs, recurring
 // parameter values, and UDO code hashes — two subgraphs with equal precise
@@ -18,23 +19,21 @@ import (
 // OpViewScan encodes as the signature of the computation it replaced and
 // OpMaterialize encodes as its child, so rewriting a plan to use or build
 // views never changes the encoding of surrounding operators.
-func (n *Node) Encode(w *bytes.Buffer, mode expr.Mode) {
+func (n *Node) AppendEncode(dst []byte, mode expr.Mode) []byte {
 	if n.Transparent() {
 		// Transparent wrappers: a spooled or materialized computation is
 		// the same computation.
-		n.Children[0].Encode(w, mode)
-		return
+		return n.Children[0].AppendEncode(dst, mode)
 	}
 	if n.Kind == OpExtract || n.Kind == OpViewScan {
-		n.EncodeLocal(w, mode)
-		return
+		return n.AppendLocal(dst, mode)
 	}
-	n.EncodeLocal(w, mode)
+	dst = n.AppendLocal(dst, mode)
 	for _, c := range n.Children {
-		w.WriteByte(' ')
-		c.Encode(w, mode)
+		dst = append(dst, ' ')
+		dst = c.AppendEncode(dst, mode)
 	}
-	w.WriteByte(')')
+	return append(dst, ')')
 }
 
 // Transparent reports whether n is invisible to encodings and signatures:
@@ -43,65 +42,114 @@ func (n *Node) Transparent() bool {
 	return n.Kind == OpMaterialize || n.Kind == OpSpool
 }
 
-// EncodeLocal appends only the node-local portion of the canonical
+// AppendLocal appends only the node-local portion of the canonical
 // encoding: the operator token and its arguments, without the children.
 // Leaf operators (Extract, ViewScan) emit complete encodings; for all
 // other operators the caller is responsible for the closing parenthesis.
 // The signature layer combines local encodings with child hashes to
-// compute subgraph signatures in O(n) per plan.
-func (n *Node) EncodeLocal(w *bytes.Buffer, mode expr.Mode) {
+// compute subgraph signatures in O(n) per plan; it is fmt-free and
+// allocation-free when dst has capacity.
+func (n *Node) AppendLocal(dst []byte, mode expr.Mode) []byte {
 	switch n.Kind {
 	case OpExtract:
+		dst = append(dst, "(extract "...)
+		dst = append(dst, n.Table...)
 		if mode == expr.Precise {
-			fmt.Fprintf(w, "(extract %s @%s)", n.Table, n.GUID)
-		} else {
-			fmt.Fprintf(w, "(extract %s)", n.Table)
+			dst = append(dst, " @"...)
+			dst = append(dst, n.GUID...)
 		}
-		return
+		return append(dst, ')')
 	case OpViewScan:
 		if mode == expr.Precise {
-			w.WriteString(n.ViewPreciseSig)
-		} else {
-			w.WriteString(n.ViewNormSig)
+			return append(dst, n.ViewPreciseSig...)
 		}
-		return
+		return append(dst, n.ViewNormSig...)
 	}
-	w.WriteByte('(')
-	w.WriteString(opToken(n.Kind))
+	dst = append(dst, '(')
+	dst = append(dst, opToken(n.Kind)...)
 	switch n.Kind {
 	case OpFilter:
-		w.WriteByte(' ')
-		n.Pred.Encode(w, mode)
+		dst = append(dst, ' ')
+		dst = n.Pred.AppendTo(dst, mode)
 	case OpProject:
 		for _, e := range n.Exprs {
-			w.WriteByte(' ')
-			e.Encode(w, mode)
+			dst = append(dst, ' ')
+			dst = e.AppendTo(dst, mode)
 		}
 	case OpHashJoin, OpMergeJoin:
-		fmt.Fprintf(w, " %v %v", n.LeftKeys, n.RightKeys)
+		dst = append(dst, ' ')
+		dst = appendInts(dst, n.LeftKeys)
+		dst = append(dst, ' ')
+		dst = appendInts(dst, n.RightKeys)
 	case OpHashGbAgg, OpStreamGbAgg:
-		fmt.Fprintf(w, " %v", n.GroupBy)
+		dst = append(dst, ' ')
+		dst = appendInts(dst, n.GroupBy)
 		for _, a := range n.Aggs {
-			fmt.Fprintf(w, " (%s %d)", a.Fn, a.Col)
+			dst = append(dst, " ("...)
+			dst = append(dst, a.Fn.String()...)
+			dst = append(dst, ' ')
+			dst = strconv.AppendInt(dst, int64(a.Col), 10)
+			dst = append(dst, ')')
 		}
 	case OpSort:
-		fmt.Fprintf(w, " %v %v", n.SortKeys, n.Desc)
+		dst = append(dst, ' ')
+		dst = appendInts(dst, n.SortKeys)
+		dst = append(dst, ' ')
+		dst = appendBools(dst, n.Desc)
 	case OpExchange:
-		fmt.Fprintf(w, " %s %v %d", n.Part.Kind, n.Part.Cols, n.Part.Count)
+		dst = append(dst, ' ')
+		dst = append(dst, n.Part.Kind.String()...)
+		dst = append(dst, ' ')
+		dst = appendInts(dst, n.Part.Cols)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(n.Part.Count), 10)
 	case OpTop:
-		fmt.Fprintf(w, " %d", n.N)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, n.N, 10)
 	case OpProcess, OpReduce:
+		dst = append(dst, ' ')
+		dst = append(dst, n.UDOName...)
 		if mode == expr.Precise {
-			fmt.Fprintf(w, " %s #%s", n.UDOName, n.UDOCodeHash)
-		} else {
-			fmt.Fprintf(w, " %s", n.UDOName)
+			dst = append(dst, " #"...)
+			dst = append(dst, n.UDOCodeHash...)
 		}
 		if n.Kind == OpReduce {
-			fmt.Fprintf(w, " %v", n.GroupBy)
+			dst = append(dst, ' ')
+			dst = appendInts(dst, n.GroupBy)
 		}
 	case OpOutput:
-		fmt.Fprintf(w, " %s", n.OutputName)
+		dst = append(dst, ' ')
+		dst = append(dst, n.OutputName...)
 	}
+	return dst
+}
+
+// appendInts appends xs in fmt's %v rendering: "[1 2 3]", "[]" when empty.
+func appendInts(dst []byte, xs []int) []byte {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(x), 10)
+	}
+	return append(dst, ']')
+}
+
+// appendBools appends xs in fmt's %v rendering: "[true false]".
+func appendBools(dst []byte, xs []bool) []byte {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		if x {
+			dst = append(dst, "true"...)
+		} else {
+			dst = append(dst, "false"...)
+		}
+	}
+	return append(dst, ']')
 }
 
 // opToken returns the stable token used in canonical encodings. It is
@@ -142,7 +190,5 @@ func opToken(k OpKind) string {
 
 // EncodeString returns the canonical encoding of the subgraph at n.
 func (n *Node) EncodeString(mode expr.Mode) string {
-	var b bytes.Buffer
-	n.Encode(&b, mode)
-	return b.String()
+	return string(n.AppendEncode(nil, mode))
 }

@@ -60,6 +60,18 @@ func Clone(n *Node) *Node {
 	return rec(n)
 }
 
+// CopyWithChildren returns a shallow copy of n with a freshly allocated
+// Children slice (holding the same child pointers) and a cleared schema
+// cache. It is the building block for copy-on-write rewrites: the caller
+// swaps individual children on the copy while the original node — and
+// every untouched subtree — stays shared and unmodified.
+func (n *Node) CopyWithChildren() *Node {
+	cp := *n
+	cp.schema = nil
+	cp.Children = append([]*Node(nil), n.Children...)
+	return &cp
+}
+
 // Rewrite applies fn bottom-up: children are rewritten first, then fn may
 // replace the node itself (returning a different node). Shared nodes are
 // rewritten once and the replacement is reused at every consumer. The

@@ -1,0 +1,87 @@
+package signature
+
+import "sync"
+
+// Signature strings are 32-byte hex values recomputed for every job, and
+// recurring workloads produce the same handful of strings millions of
+// times. A process-wide intern table collapses them to one allocation
+// each; sharding keeps concurrent submissions from serializing on one
+// lock, and a per-shard cap bounds the table on adversarial workloads
+// (past the cap strings are returned un-interned, which is only a lost
+// optimization).
+const (
+	internShardCount = 64
+	internShardCap   = 1 << 14
+)
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var internShards [internShardCount]internShard
+
+// internShardFor picks a shard by FNV-1a over the bytes. Signature strings
+// are hex, so indexing by the first byte alone would use 16 of the shards.
+func internShardFor(b []byte) *internShard {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return &internShards[h%internShardCount]
+}
+
+// InternBytes returns the canonical string for b, allocating only the
+// first time a given value is seen. The read path does not allocate: the
+// map lookup with string(b) is recognized by the compiler.
+func InternBytes(b []byte) string {
+	sh := internShardFor(b)
+	sh.mu.RLock()
+	s, ok := sh.m[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.m[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if sh.m == nil {
+		sh.m = make(map[string]string, 64)
+	}
+	if len(sh.m) < internShardCap {
+		sh.m[s] = s
+	}
+	return s
+}
+
+// Intern returns the canonical instance of s, so equal signature strings
+// arriving from outside the hash path (view scans, metadata annotations)
+// share storage with computed ones.
+func Intern(s string) string {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	sh := &internShards[h%internShardCount]
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.m[s]; ok {
+		return c
+	}
+	if sh.m == nil {
+		sh.m = make(map[string]string, 64)
+	}
+	if len(sh.m) < internShardCap {
+		sh.m[s] = s
+	}
+	return s
+}

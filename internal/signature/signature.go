@@ -15,7 +15,6 @@
 package signature
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 
@@ -36,27 +35,86 @@ func Of(n *plan.Node) Signature {
 }
 
 // Computer memoizes per-node signatures so enumerating every subgraph of a
-// plan costs O(nodes), not O(nodes²). A Computer is not safe for concurrent
-// use; create one per goroutine.
+// plan costs O(nodes), not O(nodes²). Both hashes of a node are computed
+// together in one bottom-up pass, local encodings go through a reused
+// scratch buffer instead of per-node allocations, and the resulting hex
+// strings are interned process-wide so recurring instances share one
+// allocation. A Computer is not safe for concurrent use; create one per
+// goroutine.
 type Computer struct {
-	precise map[*plan.Node]string
-	norm    map[*plan.Node]string
+	memo map[*plan.Node]Signature
+	buf  []byte
 }
 
 // NewComputer returns an empty Computer.
 func NewComputer() *Computer {
 	return &Computer{
-		precise: map[*plan.Node]string{},
-		norm:    map[*plan.Node]string{},
+		memo: map[*plan.Node]Signature{},
+		buf:  make([]byte, 0, 512),
 	}
 }
 
 // Of returns the signature of the subgraph rooted at n, reusing any
 // previously computed child hashes.
 func (c *Computer) Of(n *plan.Node) Signature {
-	return Signature{
-		Precise:    c.hash(n, expr.Precise),
-		Normalized: c.hash(n, expr.Normalized),
+	if s, ok := c.memo[n]; ok {
+		return s
+	}
+	var s Signature
+	switch {
+	case n.Transparent():
+		s = c.Of(n.Children[0])
+	case n.Kind == plan.OpViewScan:
+		// A view scan *is* the computation it replaced; reuse its hash so
+		// ancestor signatures are unchanged by the rewrite.
+		s = Signature{
+			Precise:    Intern(n.ViewPreciseSig),
+			Normalized: Intern(n.ViewNormSig),
+		}
+	default:
+		// One bottom-up pass: resolve every child first, then derive both
+		// of this node's hashes from the memoized child signatures.
+		for _, ch := range n.Children {
+			c.Of(ch)
+		}
+		s = Signature{
+			Precise:    c.hashLocal(n, expr.Precise),
+			Normalized: c.hashLocal(n, expr.Normalized),
+		}
+	}
+	c.memo[n] = s
+	return s
+}
+
+// hashLocal hashes the node-local encoding combined with the already
+// memoized child hashes for one mode. The message layout (local encoding,
+// then a zero byte plus child hash per child) and the truncated-hex output
+// are a stable format: signatures persist in workload repositories and
+// metadata snapshots across versions.
+func (c *Computer) hashLocal(n *plan.Node, mode expr.Mode) string {
+	buf := n.AppendLocal(c.buf[:0], mode)
+	for _, ch := range n.Children {
+		cs := c.memo[ch]
+		buf = append(buf, 0)
+		if mode == expr.Precise {
+			buf = append(buf, cs.Precise...)
+		} else {
+			buf = append(buf, cs.Normalized...)
+		}
+	}
+	c.buf = buf[:0]
+	sum := sha256.Sum256(buf)
+	var hexSum [2 * sha256.Size]byte
+	hex.Encode(hexSum[:], sum[:])
+	return InternBytes(hexSum[:32])
+}
+
+// Alias records that clone denotes the same computation as orig, so
+// copy-on-write plan rewrites can transfer memoized signatures to copied
+// nodes instead of rehashing their subtrees.
+func (c *Computer) Alias(orig, clone *plan.Node) {
+	if s, ok := c.memo[orig]; ok {
+		c.memo[clone] = s
 	}
 }
 
@@ -78,39 +136,4 @@ func (c *Computer) AllSubgraphs(root *plan.Node) []SubgraphSig {
 type SubgraphSig struct {
 	Node *plan.Node
 	Sig  Signature
-}
-
-func (c *Computer) hash(n *plan.Node, mode expr.Mode) string {
-	memo := c.precise
-	if mode == expr.Normalized {
-		memo = c.norm
-	}
-	if s, ok := memo[n]; ok {
-		return s
-	}
-	var s string
-	switch {
-	case n.Transparent():
-		s = c.hash(n.Children[0], mode)
-	case n.Kind == plan.OpViewScan:
-		// A view scan *is* the computation it replaced; reuse its hash so
-		// ancestor signatures are unchanged by the rewrite.
-		if mode == expr.Precise {
-			s = n.ViewPreciseSig
-		} else {
-			s = n.ViewNormSig
-		}
-	default:
-		h := sha256.New()
-		var local bytes.Buffer
-		n.EncodeLocal(&local, mode)
-		h.Write(local.Bytes())
-		for _, ch := range n.Children {
-			h.Write([]byte{0})
-			h.Write([]byte(c.hash(ch, mode)))
-		}
-		s = hex.EncodeToString(h.Sum(nil))[:32]
-	}
-	memo[n] = s
-	return s
 }

@@ -1,0 +1,46 @@
+package signature
+
+import (
+	"testing"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/expr"
+	"cloudviews/internal/plan"
+)
+
+// benchPlan builds a production-shaped job: two scan→filter→shuffle arms
+// joined, aggregated, sorted, and topped — 12 non-transparent nodes with
+// parameters, constants, and UDF-free expressions, so the encoding work per
+// node is representative of the workgen pipelines.
+func benchPlan() *plan.Node {
+	logs := plan.Scan("logs", "g-bench-logs", logSchema()).
+		Filter(expr.Eq(expr.C(2, "day"), expr.P("day", data.Date(17432)))).
+		ShuffleHash([]int{0}, 8)
+	users := plan.Scan("users", "g-bench-users", logSchema()).
+		Filter(expr.B(expr.OpGt, expr.C(0, "uid"), expr.Lit(data.Int(100)))).
+		ShuffleHash([]int{0}, 8)
+	return logs.HashJoin(users, []int{0}, []int{0}).
+		HashAgg([]int{0}, []plan.AggSpec{{Fn: plan.AggCount, Col: 1}, {Fn: plan.AggSum, Col: 0}}).
+		Sort([]int{1}, []bool{true}).
+		Top(100).
+		Output("report")
+}
+
+// BenchmarkSignature measures the per-job frontend signing cost: a fresh
+// Computer hashing every subgraph of the plan in both modes, exactly as the
+// submission path does for each incoming job.
+func BenchmarkSignature(b *testing.B) {
+	root := benchPlan()
+	// Warm once so schema memoization inside plan nodes does not count.
+	if n := len(NewComputer().AllSubgraphs(root)); n != 11 {
+		b.Fatalf("bench plan has %d subgraphs, want 11", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewComputer()
+		if subs := c.AllSubgraphs(root); len(subs) == 0 {
+			b.Fatal("no subgraphs")
+		}
+	}
+}

@@ -60,17 +60,22 @@ func NewStore() *Store {
 	}
 }
 
-// Write installs a view. Writing a second view for the same precise
-// signature is rejected — the metadata service's build locks should make
-// that impossible, so hitting it indicates a synchronization bug.
-func (s *Store) Write(v *View) error {
+// Write installs a view and reports whether this call created it. A second
+// view for an already-materialized precise signature is not an error:
+// build-lock expiry (§6.1 fault tolerance) can hand the lock to a takeover
+// builder while the original is still running, and equal precise signatures
+// compute byte-identical results, so the race resolves first-writer-wins —
+// the losing write is discarded and Write returns created=false. Reusing a
+// path is still rejected: paths embed the producing job ID, so a collision
+// means one job wrote the same view twice.
+func (s *Store) Write(v *View) (created bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.byPath[v.Path]; ok {
-		return fmt.Errorf("storage: path %q already exists", v.Path)
+		return false, fmt.Errorf("storage: path %q already exists", v.Path)
 	}
-	if p, ok := s.byPrecise[v.PreciseSig]; ok {
-		return fmt.Errorf("storage: signature %s already materialized at %q", v.PreciseSig, p)
+	if _, ok := s.byPrecise[v.PreciseSig]; ok {
+		return false, nil
 	}
 	var rows, bytes int64
 	for _, p := range v.Partitions {
@@ -83,7 +88,7 @@ func (s *Store) Write(v *View) error {
 	s.byPath[v.Path] = v
 	s.byPrecise[v.PreciseSig] = v.Path
 	s.bytes += bytes
-	return nil
+	return true, nil
 }
 
 // Get returns the view at path.

@@ -34,7 +34,7 @@ func TestPathForEmbedsSigAndJob(t *testing.T) {
 func TestWriteGetLookup(t *testing.T) {
 	s := NewStore()
 	v := mkView("sig1", 10, 100)
-	if err := s.Write(v); err != nil {
+	if _, err := s.Write(v); err != nil {
 		t.Fatal(err)
 	}
 	if v.Rows != 10 || v.Bytes <= 0 {
@@ -58,27 +58,36 @@ func TestWriteGetLookup(t *testing.T) {
 	}
 }
 
-func TestDuplicateWritesRejected(t *testing.T) {
+func TestDuplicateWrites(t *testing.T) {
 	s := NewStore()
-	if err := s.Write(mkView("sig1", 1, 10)); err != nil {
-		t.Fatal(err)
+	first := mkView("sig1", 1, 10)
+	if created, err := s.Write(first); err != nil || !created {
+		t.Fatalf("first write: created=%v err=%v", created, err)
 	}
-	// Same path.
-	if err := s.Write(mkView("sig1", 1, 10)); err == nil {
+	// Same path: one job writing the same view twice is a hard error.
+	if _, err := s.Write(mkView("sig1", 1, 10)); err == nil {
 		t.Error("duplicate path accepted")
 	}
-	// Same signature, different path.
+	// Same signature, different path: a takeover builder losing the
+	// first-writer-wins race (§6.1 fault tolerance). Not an error, but
+	// the losing copy must be discarded.
 	v := mkView("sig1", 1, 10)
 	v.Path = "/views/other"
-	if err := s.Write(v); err == nil {
-		t.Error("duplicate signature accepted")
+	if created, err := s.Write(v); err != nil || created {
+		t.Errorf("lost race: created=%v err=%v, want false, nil", created, err)
+	}
+	if s.Len() != 1 || s.LookupPrecise("sig1").Path != first.Path {
+		t.Error("losing write must leave the first writer in place")
+	}
+	if _, err := s.Get("/views/other"); err == nil {
+		t.Error("losing write must not install its path")
 	}
 }
 
 func TestDeleteAndPurge(t *testing.T) {
 	s := NewStore()
 	for i, exp := range []int64{5, 10, 15} {
-		if err := s.Write(mkView(fmt.Sprintf("s%d", i), 2, exp)); err != nil {
+		if _, err := s.Write(mkView(fmt.Sprintf("s%d", i), 2, exp)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -102,7 +111,7 @@ func TestDeleteAndPurge(t *testing.T) {
 func TestViewsSnapshotOrdered(t *testing.T) {
 	s := NewStore()
 	for _, sig := range []string{"c", "a", "b"} {
-		if err := s.Write(mkView(sig, 1, 99)); err != nil {
+		if _, err := s.Write(mkView(sig, 1, 99)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -121,7 +130,7 @@ func TestReclaimLowestUtility(t *testing.T) {
 	s := NewStore()
 	// Three views, utility = expiry for the test. Sizes equal.
 	for i, sig := range []string{"low", "mid", "high"} {
-		if err := s.Write(mkView(sig, 4, int64(i))); err != nil {
+		if _, err := s.Write(mkView(sig, 4, int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,7 +156,7 @@ func TestConcurrentStoreOps(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				sig := fmt.Sprintf("g%d-%d", g, i)
-				if err := s.Write(mkView(sig, 1, int64(i))); err != nil {
+				if _, err := s.Write(mkView(sig, 1, int64(i))); err != nil {
 					t.Errorf("write: %v", err)
 				}
 				s.LookupPrecise(sig)

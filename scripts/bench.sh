@@ -1,0 +1,75 @@
+#!/bin/sh
+# bench.sh — run the frontend hot-path benchmarks and write BENCH_frontend.json.
+#
+# The frontend (signature computation, metadata lookup, optimizer rewrite)
+# runs on every submitted job, so its per-job cost is tracked as a checked-in
+# artifact. The "seed" block holds the numbers from before the fast-path work
+# (single-pass hashing, interning, snapshot metadata reads, lazy-clone
+# optimizer) for comparison; "current" is re-measured by this script.
+# BenchmarkMetadataLookupParallel runs at -cpu=1,4 to show the lock-free
+# snapshot read path scaling with GOMAXPROCS.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_frontend.json
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+BENCHTIME="${BENCHTIME:-2s}"
+
+go test -run='^$' -bench='^BenchmarkSignature$|^BenchmarkAllSubgraphs$' \
+	-benchmem -benchtime="$BENCHTIME" ./internal/signature/ | tee -a "$TMP"
+go test -run='^$' -bench='^BenchmarkOptimizeFrontend$' \
+	-benchmem -benchtime="$BENCHTIME" ./internal/optimizer/ | tee -a "$TMP"
+go test -run='^$' -bench='^BenchmarkMetadataLookup' \
+	-benchmem -benchtime="$BENCHTIME" -cpu=1,4 ./internal/metadata/ | tee -a "$TMP"
+go test -run='^$' -bench='^BenchmarkConcurrentSubmit$' -benchtime=3x . | tee -a "$TMP"
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	cat <<'SEED'
+  "seed": {
+    "BenchmarkSignature":                {"ns_op": 20318, "bytes_op": 9304, "allocs_op": 169},
+    "BenchmarkAllSubgraphs":             {"ns_op": 8911, "bytes_op": 3624, "allocs_op": 72},
+    "BenchmarkOptimizeFrontend/noreuse": {"ns_op": 23069, "bytes_op": 13080, "allocs_op": 150},
+    "BenchmarkOptimizeFrontend/use":     {"ns_op": 15448, "bytes_op": 9424, "allocs_op": 92},
+    "BenchmarkOptimizeFrontend/build":   {"ns_op": 32537, "bytes_op": 17152, "allocs_op": 226},
+    "BenchmarkMetadataLookupParallel":   {"ns_op": 4113, "bytes_op": 6608, "allocs_op": 11},
+    "BenchmarkMetadataLookupSerial":     {"ns_op": 4275, "bytes_op": 6608, "allocs_op": 11},
+    "BenchmarkConcurrentSubmit":         {"jobs_per_sec": 2026}
+  },
+SEED
+	awk '
+		/^Benchmark/ {
+			name = $1
+			ns = bytes = allocs = jps = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				else if ($i == "B/op") bytes = $(i-1)
+				else if ($i == "allocs/op") allocs = $(i-1)
+				else if ($i == "jobs/s") jps = $(i-1)
+			}
+			line = sprintf("    \"%s\": {", name)
+			sep = ""
+			if (ns != "")     { line = line sep "\"ns_op\": " ns; sep = ", " }
+			if (bytes != "")  { line = line sep "\"bytes_op\": " bytes; sep = ", " }
+			if (allocs != "") { line = line sep "\"allocs_op\": " allocs; sep = ", " }
+			if (jps != "")    { line = line sep "\"jobs_per_sec\": " jps; sep = ", " }
+			line = line "}"
+			lines[n++] = line
+		}
+		END {
+			printf "  \"current\": {\n"
+			for (i = 0; i < n; i++)
+				printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+			printf "  }\n"
+		}
+	' "$TMP"
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

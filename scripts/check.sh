@@ -9,6 +9,10 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
+# Frontend hot-path benchmarks (per-job submission cost): one iteration
+# verifies the benchmark harnesses and their internal assertions.
+go test -run='^$' -bench='^BenchmarkSignature$|^BenchmarkOptimizeFrontend$|^BenchmarkMetadataLookup' \
+	-benchtime=1x ./internal/signature/ ./internal/optimizer/ ./internal/metadata/
 # Smoke-run every benchmark once; -short skips the heavyweight runs
 # (full TPC-DS) so this finishes quickly.
 go test -run='^$' -bench=. -benchtime=1x -short ./...
