@@ -241,14 +241,25 @@ func TestOverheadShapes(t *testing.T) {
 	if r.LookupAvg1Thread <= 0 || r.LookupAvg5Threads <= 0 {
 		t.Error("lookup measurement empty")
 	}
-	// Optimizing with a view to create must cost more than plain
-	// optimization (the paper's +28%).
-	if r.OptimizeCreate <= r.OptimizePlain {
-		t.Errorf("create %v should exceed plain %v", r.OptimizeCreate, r.OptimizePlain)
-	}
-	// Consuming a view shrinks the tree and must cost less than creating.
-	if r.OptimizeUse >= r.OptimizeCreate {
-		t.Errorf("use %v should be below create %v", r.OptimizeUse, r.OptimizeCreate)
+	// The optimizer orderings compare microsecond wall-clock timings, so a
+	// load spike (the full suite runs packages in parallel) can invert
+	// them spuriously; a real regression inverts them on every run.
+	// Re-measure a bounded number of times before declaring failure.
+	for attempt := 0; ; attempt++ {
+		// Optimizing with a view to create must cost more than plain
+		// optimization (the paper's +28%), and consuming a view shrinks
+		// the tree so it must cost less than creating.
+		if r.OptimizeCreate > r.OptimizePlain && r.OptimizeUse < r.OptimizeCreate {
+			break
+		}
+		if attempt == 2 {
+			t.Errorf("optimizer ordering: plain %v, create %v, use %v; want plain < create and use < create",
+				r.OptimizePlain, r.OptimizeCreate, r.OptimizeUse)
+			break
+		}
+		if r, err = RunOverheads(7); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var buf bytes.Buffer
 	WriteOverheads(&buf, r)

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -29,16 +30,13 @@ func (r Row) Clone() Row {
 func (r Row) Hash64(idx ...int) uint64 {
 	const seed = 14695981039346656037
 	h := uint64(seed)
-	mix := func(v Value) {
-		h = (bits.RotateLeft64(h, 25) ^ v.Hash64()) * 0x9e3779b97f4a7c15
-	}
 	if len(idx) == 0 {
 		for _, v := range r {
-			mix(v)
+			h = (bits.RotateLeft64(h, 25) ^ v.Hash64()) * 0x9e3779b97f4a7c15
 		}
 	} else {
 		for _, i := range idx {
-			mix(r[i])
+			h = (bits.RotateLeft64(h, 25) ^ r[i].Hash64()) * 0x9e3779b97f4a7c15
 		}
 	}
 	// fmix64 finalizer (64-bit MurmurHash3).
@@ -86,10 +84,13 @@ func CompareRows(a, b Row, keys []int, desc []bool) int {
 }
 
 // SortRows sorts rows in place by the given key columns and directions,
-// using a stable sort so equal keys preserve input order.
+// using a stable sort so equal keys preserve input order. The generic
+// slices.SortStableFunc avoids sort.SliceStable's reflection-based swaps;
+// both are stable under the same comparator, so the output order is
+// identical element for element.
 func SortRows(rows []Row, keys []int, desc []bool) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		return CompareRows(rows[i], rows[j], keys, desc) < 0
+	slices.SortStableFunc(rows, func(a, b Row) int {
+		return CompareRows(a, b, keys, desc)
 	})
 }
 

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Table is a named, partitioned row set. GUID identifies the concrete data
@@ -14,6 +15,14 @@ type Table struct {
 	GUID       string
 	Schema     Schema
 	Partitions [][]Row
+
+	// Lazily computed NumRows/ByteSize, stored as n+1 so the zero value
+	// means "stale" even for literal Table construction. AppendHash
+	// invalidates; callers that write Partitions directly must finish doing
+	// so before the first NumRows/ByteSize call. Atomics because concurrent
+	// jobs scan shared catalog tables.
+	cachedRows  atomic.Int64
+	cachedBytes atomic.Int64
 }
 
 // NewTable creates a table with the given number of empty partitions.
@@ -29,23 +38,33 @@ func NewTable(name, guid string, schema Schema, partitions int) *Table {
 	}
 }
 
-// NumRows returns the total row count across partitions.
+// NumRows returns the total row count across partitions (cached between
+// appends — extracts re-read table metadata on every job).
 func (t *Table) NumRows() int64 {
+	if c := t.cachedRows.Load(); c > 0 {
+		return c - 1
+	}
 	var n int64
 	for _, p := range t.Partitions {
 		n += int64(len(p))
 	}
+	t.cachedRows.Store(n + 1)
 	return n
 }
 
-// ByteSize returns the approximate total size of the table in bytes.
+// ByteSize returns the approximate total size of the table in bytes
+// (cached between appends, like NumRows).
 func (t *Table) ByteSize() int64 {
+	if c := t.cachedBytes.Load(); c > 0 {
+		return c - 1
+	}
 	var n int64
 	for _, p := range t.Partitions {
 		for _, r := range p {
 			n += r.ByteSize()
 		}
 	}
+	t.cachedBytes.Store(n + 1)
 	return n
 }
 
@@ -60,6 +79,8 @@ func (t *Table) AppendHash(row Row, keys []int, rr *int) {
 		p = int(row.Hash64(keys...) % uint64(len(t.Partitions)))
 	}
 	t.Partitions[p] = append(t.Partitions[p], row)
+	t.cachedRows.Store(0)
+	t.cachedBytes.Store(0)
 }
 
 // AllRows flattens the table into a single slice (test and report helper).

@@ -9,7 +9,6 @@ package data
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -180,6 +179,40 @@ func rank(k Kind) int {
 // NULL sorts before everything, numerics before strings. Numeric kinds
 // compare by value so Int(3) equals Float(3.0).
 func Compare(a, b Value) int {
+	// Same-kind fast path: comparisons on the join/group/sort hot loops are
+	// almost always same-kind. Each branch reproduces the mixed-kind logic
+	// below exactly — in particular the float switch keeps NaN comparing
+	// equal to everything, as </> both report false.
+	if a.K == b.K {
+		switch a.K {
+		case KindInt, KindDate, KindBool:
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		case KindFloat:
+			switch {
+			case a.F < b.F:
+				return -1
+			case a.F > b.F:
+				return 1
+			}
+			return 0
+		case KindString:
+			switch {
+			case a.S < b.S:
+				return -1
+			case a.S > b.S:
+				return 1
+			}
+			return 0
+		case KindNull:
+			return 0
+		}
+	}
 	if ra, rb := rank(a.K), rank(b.K); ra != rb {
 		if ra < rb {
 			return -1
@@ -224,42 +257,53 @@ func Compare(a, b Value) int {
 // Equal reports whether two values are equal under Compare semantics.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a 64-bit parameters. Hash64 computes FNV-1a inline rather than
+// through hash/fnv: the streaming interface costs an indirect call per
+// Write and a []byte(string) copy per string value, and value hashing sits
+// on the shuffle/join/group hot path. The byte stream hashed is unchanged
+// (kind tag, then payload little-endian), so every hash — and therefore
+// every partition assignment — is identical to the hash/fnv-based
+// implementation; TestValueHash64MatchesFNVReference pins the equality.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix8 folds an 8-byte little-endian payload into an FNV-1a state.
+func fnvMix8(h, v uint64) uint64 {
+	// Unrolled byte-at-a-time FNV-1a: the multiply chain is inherently
+	// serial, but unrolling drops the loop-carried counter and branch.
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 24 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 32 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 40 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 48 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
+	return h
+}
+
 // Hash64 returns a 64-bit hash of the value, consistent with Equal for
 // same-kind values (the executor only hashes join/group keys of one kind).
 func (v Value) Hash64() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(v.K)
+	h := (uint64(fnvOffset64) ^ uint64(byte(v.K))) * fnvPrime64
 	switch v.K {
 	case KindString:
-		buf[0] = byte(KindString)
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * fnvPrime64
+		}
+		return h
 	case KindFloat:
 		bits := math.Float64bits(v.F)
 		// Normalize -0.0 to 0.0 so Equal values hash alike.
 		if v.F == 0 {
 			bits = 0
 		}
-		putUint64(buf[1:], bits)
-		h.Write(buf[:])
+		return fnvMix8(h, bits)
 	default:
-		putUint64(buf[1:], uint64(v.I))
-		h.Write(buf[:])
+		return fnvMix8(h, uint64(v.I))
 	}
-	return h.Sum64()
-}
-
-func putUint64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
 }
 
 // ByteSize returns the approximate in-memory size of the value in bytes,

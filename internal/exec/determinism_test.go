@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -192,6 +193,95 @@ func TestRangeDesignedView(t *testing.T) {
 			}
 			last = r[0]
 			started = true
+		}
+	}
+}
+
+// TestSkewStressParallelMatchesSerial hammers the parallel data plane with
+// a pathologically skewed input: one hot join/group key concentrates ~90%
+// of 6400 rows in a single partition of 64, so one worker drags while the
+// rest finish instantly — the scheduling pattern most likely to expose an
+// order-dependent merge. Twenty parallel executions of a
+// filter→join→shuffle→agg→materialize→sort pipeline must each be
+// byte-identical to the serial FailAfter-path reference: ordered outputs,
+// exact TotalCPU/Latency floats, per-node Stats, and MaterializedPaths.
+func TestSkewStressParallelMatchesSerial(t *testing.T) {
+	const parts = 64
+	sch := data.Schema{
+		{Name: "k", Kind: data.KindInt},
+		{Name: "g", Kind: data.KindInt},
+		{Name: "v", Kind: data.KindFloat},
+	}
+	dimSch := data.Schema{{Name: "id", Kind: data.KindInt}, {Name: "w", Kind: data.KindInt}}
+	cat := catalog.New()
+	fact := data.NewTable("skewfact", "sf-v1", sch, parts)
+	rr := 0
+	for i := 0; i < 6400; i++ {
+		k := int64(7) // hot key: ~90% of rows land in one partition
+		if i%10 == 0 {
+			k = int64(i)
+		}
+		fact.AppendHash(data.Row{
+			data.Int(k),
+			data.Int(int64(i % 5)),
+			data.Float(float64(i%97) + 0.5),
+		}, []int{0}, &rr)
+	}
+	hot, total := 0, 0
+	for _, p := range fact.Partitions {
+		total += len(p)
+		if len(p) > hot {
+			hot = len(p)
+		}
+	}
+	if hot < total/2 {
+		t.Fatalf("fixture not skewed: hottest partition %d of %d rows", hot, total)
+	}
+	dim := data.NewTable("skewdim", "sd-v1", dimSch, 8)
+	for i := 0; i < 100; i++ {
+		dim.AppendHash(data.Row{data.Int(int64(i)), data.Int(int64(i % 3))}, []int{0}, &rr)
+	}
+	cat.Register(fact)
+	cat.Register(dim)
+
+	base := plan.Scan("skewfact", "sf-v1", sch).
+		Filter(expr.B(expr.OpGe, expr.C(2, "v"), expr.Lit(data.Float(0)))).
+		HashJoin(plan.Scan("skewdim", "sd-v1", dimSch), []int{0}, []int{0}).
+		ShuffleHash([]int{1}, 16).
+		HashAgg([]int{1}, []plan.AggSpec{
+			{Fn: plan.AggSum, Col: 2},
+			{Fn: plan.AggCount, Col: 0},
+		})
+	sig := signature.Of(base)
+	path := storage.PathFor(sig.Precise, "skew")
+	build := func() *plan.Node {
+		return plan.Clone(base.Materialize(path, sig.Precise, sig.Normalized, plan.PhysicalProps{
+			Part: plan.Partitioning{Kind: plan.PartHash, Cols: []int{0}, Count: 8},
+		}).Sort([]int{0}, nil).Output("o"))
+	}
+
+	// Fresh store per run so every execution materializes (and therefore
+	// reports) the same path, rather than deduplicating against the
+	// previous run's view.
+	serRoot := build()
+	serial := serialRun(t, &Executor{Catalog: cat, Store: storage.NewStore()}, serRoot, "skew")
+	if len(serial.MaterializedPaths) != 1 || serial.MaterializedPaths[0] != path {
+		t.Fatalf("serial MaterializedPaths = %v", serial.MaterializedPaths)
+	}
+	for run := 0; run < 20; run++ {
+		root := build()
+		par, err := (&Executor{Catalog: cat, Store: storage.NewStore()}).Run(root, "skew", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, fmt.Sprintf("skew run %d", run), root, serRoot, par, serial)
+		if len(par.MaterializedPaths) != len(serial.MaterializedPaths) {
+			t.Fatalf("run %d: MaterializedPaths %v vs %v", run, par.MaterializedPaths, serial.MaterializedPaths)
+		}
+		for i := range par.MaterializedPaths {
+			if par.MaterializedPaths[i] != serial.MaterializedPaths[i] {
+				t.Fatalf("run %d: MaterializedPaths %v vs %v", run, par.MaterializedPaths, serial.MaterializedPaths)
+			}
 		}
 	}
 }

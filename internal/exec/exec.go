@@ -6,6 +6,13 @@
 // end), while latency and CPU consumption are *simulated* from a cost
 // model — the substitution for SCOPE's production cluster documented in
 // DESIGN.md. Per-operator statistics feed the CloudViews feedback loop.
+//
+// The data plane is partition-parallel: the heavy kernels (hash join,
+// hash aggregate, exchange, sort, materialize layout enforcement) fan
+// their per-partition work out through the shared bounded worker pool,
+// with deterministic merge rules so output bytes never depend on
+// scheduling (DESIGN.md §9). Simulated cost is computed from row/byte
+// counts, so real parallelism never changes the simulated figures.
 package exec
 
 import (
@@ -13,7 +20,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
@@ -100,7 +106,9 @@ type execState struct {
 // (see schedule.go); the simulated cost accounting is unaffected. When
 // FailAfter is set, execution falls back to the serial depth-first walk:
 // fault injection crashes "after the Nth operator", which only means
-// something under a deterministic operator completion order.
+// something under a deterministic operator completion order. The
+// per-operator kernels themselves are identical on both paths, so serial
+// and scheduled executions produce byte-identical results.
 func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error) {
 	st := &execState{
 		res: &Result{
@@ -136,6 +144,7 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 		return out, nil
 	}
 	childParts := make([]partitions, len(n.Children))
+	childStats := make([]*Stats, len(n.Children))
 	var childLatency float64
 	var childCumCost float64
 	for i, c := range n.Children {
@@ -145,30 +154,19 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 		}
 		childParts[i] = p
 		cs := st.res.NodeStats[c]
+		childStats[i] = cs
 		if cs.Latency > childLatency {
 			childLatency = cs.Latency
 		}
 		childCumCost += cs.CumulativeCost
 	}
 
-	out, cost, err := e.apply(n, childParts, st)
+	out, outBytes, cost, err := e.apply(n, childParts, childStats, st)
 	if err != nil {
 		return nil, err
 	}
 
-	dop := len(out)
-	if dop < 1 {
-		dop = 1
-	}
-	s := &Stats{
-		Rows:           out.rows(),
-		Bytes:          out.bytes(),
-		ExclusiveCost:  cost,
-		CumulativeCost: childCumCost + cost,
-		Latency:        childLatency + latencyShare(cost, out),
-		DOP:            dop,
-	}
-	st.res.NodeStats[n] = s
+	st.res.NodeStats[n] = nodeStats(out, outBytes, cost, childLatency, childCumCost)
 	st.memo[n] = out
 
 	if e.FailAfter != nil {
@@ -179,17 +177,39 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 	return out, nil
 }
 
+// nodeStats assembles an operator's Stats, computing output rows exactly
+// once and output bytes exactly once per invocation (operators that merely
+// rearrange their input report the input's byte count instead of re-walking
+// every row; outBytes < 0 requests a fresh — parallel — walk).
+func nodeStats(out partitions, outBytes int64, cost, childLatency, childCumCost float64) *Stats {
+	rows := out.rows()
+	if outBytes < 0 {
+		outBytes = parallelBytes(out, rows)
+	}
+	dop := len(out)
+	if dop < 1 {
+		dop = 1
+	}
+	return &Stats{
+		Rows:           rows,
+		Bytes:          outBytes,
+		ExclusiveCost:  cost,
+		CumulativeCost: childCumCost + cost,
+		Latency:        childLatency + latencyShare(cost, out, rows),
+		DOP:            dop,
+	}
+}
+
 // latencyShare converts an operator's CPU cost into wall-clock time: the
 // job waits for the *slowest* worker, so the share is cost weighted by the
 // largest partition's fraction of the rows. Balanced partitions give the
 // ideal cost/DOP; skewed layouts (including badly designed views, §5.3)
 // straggle.
-func latencyShare(cost float64, out partitions) float64 {
+func latencyShare(cost float64, out partitions, total int64) float64 {
 	dop := len(out)
 	if dop <= 1 {
 		return cost
 	}
-	total := out.rows()
 	if total == 0 {
 		return cost / float64(dop)
 	}
@@ -202,71 +222,77 @@ func latencyShare(cost float64, out partitions) float64 {
 	return cost * float64(maxPart) / float64(total)
 }
 
-// apply executes one operator and returns its output partitions and its
-// exclusive simulated cost.
-func (e *Executor) apply(n *plan.Node, in []partitions, st *execState) (partitions, float64, error) {
+// apply executes one operator and returns its output partitions, its
+// output byte size when the operator knows it for free (-1 otherwise),
+// and its exclusive simulated cost. Input sizes come from the children's
+// already-recorded Stats, never from re-walking the input rows.
+func (e *Executor) apply(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, error) {
 	switch n.Kind {
 	case plan.OpExtract:
 		return e.applyExtract(n)
 	case plan.OpViewScan:
 		return e.applyViewScan(n)
 	case plan.OpFilter:
-		return applyFilter(n, in[0])
+		return applyFilter(n, in[0], inStats[0])
 	case plan.OpProject:
-		return applyProject(n, in[0])
+		return applyProject(n, in[0], inStats[0])
 	case plan.OpExchange:
-		return applyExchange(n, in[0])
+		return applyExchange(n, in[0], inStats[0])
 	case plan.OpHashJoin, plan.OpMergeJoin:
-		return applyJoin(n, in[0], in[1])
+		return applyJoin(n, in[0], in[1], inStats[0], inStats[1])
 	case plan.OpHashGbAgg:
-		return applyHashAgg(n, in[0])
+		return applyHashAgg(n, in[0], inStats[0])
 	case plan.OpStreamGbAgg:
-		return applyStreamAgg(n, in[0])
+		return applyStreamAgg(n, in[0], inStats[0])
 	case plan.OpSort:
-		return applySort(n, in[0])
+		return applySort(n, in[0], inStats[0])
 	case plan.OpTop:
-		return applyTop(n, in[0])
+		return applyTop(n, in[0], inStats[0])
 	case plan.OpUnionAll:
-		return applyUnion(n, in)
+		return applyUnion(n, in, inStats)
 	case plan.OpProcess:
-		return applyProcess(n, in[0])
+		return applyProcess(n, in[0], inStats[0])
 	case plan.OpReduce:
-		return applyReduce(n, in[0])
+		return applyReduce(n, in[0], inStats[0])
 	case plan.OpSpool:
-		return in[0], OperatorCost(n.Kind, 0, 0, 0), nil
+		return in[0], inStats[0].Bytes, OperatorCost(n.Kind, 0, 0, 0), nil
 	case plan.OpOutput:
 		rows := in[0].flatten()
 		st.mu.Lock()
 		st.res.Outputs[n.OutputName] = rows
 		st.mu.Unlock()
-		return in[0], OperatorCost(n.Kind, in[0].rows(), 0, 0), nil
+		return in[0], inStats[0].Bytes, OperatorCost(n.Kind, inStats[0].Rows, 0, 0), nil
 	case plan.OpMaterialize:
-		return e.applyMaterialize(n, in[0], st)
+		return e.applyMaterialize(n, in[0], inStats[0], st)
 	default:
-		return nil, 0, fmt.Errorf("exec: unsupported operator %v", n.Kind)
+		return nil, 0, 0, fmt.Errorf("exec: unsupported operator %v", n.Kind)
 	}
 }
 
-func (e *Executor) applyExtract(n *plan.Node) (partitions, float64, error) {
+func (e *Executor) applyExtract(n *plan.Node) (partitions, int64, float64, error) {
 	t, err := e.Catalog.Get(n.Table)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if t.GUID != n.GUID {
-		return nil, 0, fmt.Errorf("exec: table %s has version %s, plan compiled against %s",
+		return nil, 0, 0, fmt.Errorf("exec: table %s has version %s, plan compiled against %s",
 			n.Table, t.GUID, n.GUID)
 	}
 	out := make(partitions, len(t.Partitions))
 	for i := range t.Partitions {
 		out[i] = t.Partitions[i]
 	}
-	return out, OperatorCost(n.Kind, out.rows(), 0, out.bytes()), nil
+	// Table metadata is cached on the table itself: recurring jobs extract
+	// the same inputs over and over, and the byte walk dominated the scan.
+	rows := t.NumRows()
+	bytes := t.ByteSize()
+	return out, bytes, OperatorCost(n.Kind, rows, 0, bytes), nil
 }
 
-func (e *Executor) applyViewScan(n *plan.Node) (partitions, float64, error) {
+func (e *Executor) applyViewScan(n *plan.Node) (partitions, int64, float64, error) {
 	v, err := e.Store.Get(n.ViewPath)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// The copy here is shallow on purpose: only the outer partition slice
 	// is duplicated, the row slices (and rows) alias the stored view. That
@@ -275,66 +301,66 @@ func (e *Executor) applyViewScan(n *plan.Node) (partitions, float64, error) {
 	// work on freshly flattened slices or newly allocated rows, never in
 	// place on their input. Concurrent consumers of one view therefore
 	// share its partitions without copies; TestViewScanConcurrentConsumers
-	// enforces the no-mutation contract.
+	// enforces the no-mutation contract. v.Rows/v.Bytes were tallied by
+	// Store.Write with the same per-row walk, so they stand in for a
+	// recount here.
 	out := make(partitions, len(v.Partitions))
 	copy(out, v.Partitions)
-	return out, OperatorCost(n.Kind, 0, v.Rows, v.Bytes), nil
+	return out, v.Bytes, OperatorCost(n.Kind, 0, v.Rows, v.Bytes), nil
 }
 
 // forEachPartition runs fn over every input partition, fanning out
 // through the shared worker pool when the data is large enough to
 // amortize scheduling. Output order is deterministic: fn(i) writes slot i.
 // Expressions and operator state are read-only during evaluation, so
-// per-partition work is race-free. Partitions are claimed by atomic index,
-// so the fan-out occupies at most the pool's worker budget (plus the
-// calling goroutine) rather than one goroutine per partition.
-func forEachPartition(in partitions, fn func(i int, part []data.Row) []data.Row) partitions {
+// per-partition work is race-free. inRows is the caller's (already known)
+// input row count, used only for the fan-out threshold.
+func forEachPartition(in partitions, inRows int64, fn func(i int, part []data.Row) []data.Row) partitions {
 	out := make(partitions, len(in))
-	if len(in) < 2 || in.rows() < 256 {
+	if len(in) < 2 || inRows < parallelRowThreshold {
 		for i, part := range in {
 			out[i] = fn(i, part)
 		}
 		return out
 	}
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(in) {
-				return
-			}
-			out[i] = fn(i, in[i])
-		}
-	}
-	var wg sync.WaitGroup
-	for helpers := 0; helpers < len(in)-1; helpers++ {
-		if !pool.trySpawn(&wg, work) {
-			break
-		}
-	}
-	work()
-	wg.Wait()
+	parallelRange(len(in), func(i int) {
+		out[i] = fn(i, in[i])
+	})
 	return out
 }
 
-func applyFilter(n *plan.Node, in partitions) (partitions, float64, error) {
-	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
-		var kept []data.Row
+func applyFilter(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
+		if len(part) == 0 {
+			return nil
+		}
+		// Pre-size for a middling selectivity instead of growing from nil,
+		// then shrink-wrap: the kept slice is long-lived (it may flow into
+		// outputs or materialized views), so a mostly-empty backing array
+		// would pin memory far past the operator.
+		kept := make([]data.Row, 0, len(part)/2+4)
 		for _, r := range part {
 			if n.Pred.Eval(r).Truth() {
 				kept = append(kept, r)
 			}
 		}
+		if len(kept) == 0 {
+			return nil
+		}
+		if cap(kept) >= 2*len(kept) {
+			kept = append(make([]data.Row, 0, len(kept)), kept...)
+		}
 		return kept
 	})
-	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyProject(n *plan.Node, in partitions) (partitions, float64, error) {
-	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
+func applyProject(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
+		arena := data.NewRowArenaSized(len(part) * len(n.Exprs))
 		rows := make([]data.Row, len(part))
 		for j, r := range part {
-			nr := make(data.Row, len(n.Exprs))
+			nr := arena.NewRow(len(n.Exprs))
 			for k, ex := range n.Exprs {
 				nr[k] = ex.Eval(r)
 			}
@@ -342,348 +368,114 @@ func applyProject(n *plan.Node, in partitions) (partitions, float64, error) {
 		}
 		return rows
 	})
-	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyExchange(n *plan.Node, in partitions) (partitions, float64, error) {
-	cost := OperatorCost(n.Kind, in.rows(), 0, in.bytes())
-	switch n.Part.Kind {
-	case plan.PartSingleton:
-		return partitions{in.flatten()}, cost, nil
-	case plan.PartHash:
-		count := n.Part.Count
-		if count < 1 {
-			count = 1
-		}
-		out := make(partitions, count)
-		for _, part := range in {
-			for _, r := range part {
-				p := int(r.Hash64(n.Part.Cols...) % uint64(count))
-				out[p] = append(out[p], r)
-			}
-		}
-		return out, cost, nil
-	case plan.PartRoundRobin:
-		count := n.Part.Count
-		if count < 1 {
-			count = 1
-		}
-		out := make(partitions, count)
-		i := 0
-		for _, part := range in {
-			for _, r := range part {
-				out[i%count] = append(out[i%count], r)
-				i++
-			}
-		}
-		return out, cost, nil
-	case plan.PartRange:
-		count := n.Part.Count
-		if count < 1 {
-			count = 1
-		}
-		// Parallel sort: a range exchange globally sorts on the range
-		// columns (full-row tie-break for determinism) and slices into
-		// equi-depth partitions. It pays sort cost on top of shuffle cost.
-		rows := in.flatten()
-		keys := append([]int(nil), n.Part.Cols...)
-		if len(rows) > 0 {
-			for i := range rows[0] {
-				keys = append(keys, i)
-			}
-		}
-		data.SortRows(rows, keys, nil)
-		if nr := float64(len(rows)); nr > 1 {
-			cost += nr * costPerRowSortBase * math.Log2(nr)
-		}
-		out := make(partitions, count)
-		per := (len(rows) + count - 1) / count
-		for i := 0; i < count; i++ {
-			lo := i * per
-			hi := lo + per
-			if lo > len(rows) {
-				lo = len(rows)
-			}
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			out[i] = rows[lo:hi]
-		}
-		return out, cost, nil
-	default:
-		return in, cost, nil
-	}
-}
-
-// applyJoin implements an inner equi-join. The build side is the right
-// input; output rows are left ++ right, partitioned like the left input.
-func applyJoin(n *plan.Node, left, right partitions) (partitions, float64, error) {
-	// The build map holds every right-side row; sizing it up front avoids
-	// rehash churn on large partitions.
-	build := make(map[uint64][]data.Row, right.rows())
-	for _, part := range right {
-		for _, r := range part {
-			h := r.Hash64(n.RightKeys...)
-			build[h] = append(build[h], r)
-		}
-	}
-	out := make(partitions, len(left))
-	for i, part := range left {
-		var rows []data.Row
-		for _, l := range part {
-			h := l.Hash64(n.LeftKeys...)
-			for _, r := range build[h] {
-				if joinKeysMatch(l, r, n.LeftKeys, n.RightKeys) {
-					nr := make(data.Row, 0, len(l)+len(r))
-					nr = append(nr, l...)
-					nr = append(nr, r...)
-					rows = append(rows, nr)
-				}
-			}
-		}
-		out[i] = rows
-	}
-	cost := OperatorCost(n.Kind, left.rows(), 0, 0) + float64(right.rows())*costPerRowJoinBuild
-	return out, cost, nil
-}
-
-func joinKeysMatch(l, r data.Row, lk, rk []int) bool {
-	for i := range lk {
-		if !data.Equal(l[lk[i]], r[rk[i]]) {
-			return false
-		}
-	}
-	return true
-}
-
-type aggState struct {
-	key    data.Row
-	sums   []float64
-	ints   []int64
-	counts []int64
-	mins   []data.Value
-	maxs   []data.Value
-	isFlt  []bool
-}
-
-func newAggState(n *plan.Node, in data.Schema, key data.Row) *aggState {
-	a := &aggState{
-		key:    key,
-		sums:   make([]float64, len(n.Aggs)),
-		ints:   make([]int64, len(n.Aggs)),
-		counts: make([]int64, len(n.Aggs)),
-		mins:   make([]data.Value, len(n.Aggs)),
-		maxs:   make([]data.Value, len(n.Aggs)),
-		isFlt:  make([]bool, len(n.Aggs)),
-	}
-	for i, spec := range n.Aggs {
-		a.isFlt[i] = in[spec.Col].Kind == data.KindFloat
-	}
-	return a
-}
-
-func (a *aggState) update(n *plan.Node, r data.Row) {
-	for i, spec := range n.Aggs {
-		v := r[spec.Col]
-		if v.IsNull() && spec.Fn != plan.AggCount {
-			continue
-		}
-		switch spec.Fn {
-		case plan.AggSum, plan.AggAvg:
-			a.sums[i] += v.AsFloat()
-			a.ints[i] += v.AsInt()
-			a.counts[i]++
-		case plan.AggCount:
-			a.counts[i]++
-		case plan.AggMin:
-			if a.counts[i] == 0 || data.Compare(v, a.mins[i]) < 0 {
-				a.mins[i] = v
-			}
-			a.counts[i]++
-		case plan.AggMax:
-			if a.counts[i] == 0 || data.Compare(v, a.maxs[i]) > 0 {
-				a.maxs[i] = v
-			}
-			a.counts[i]++
-		}
-	}
-}
-
-func (a *aggState) emit(n *plan.Node) data.Row {
-	out := make(data.Row, 0, len(a.key)+len(n.Aggs))
-	out = append(out, a.key...)
-	for i, spec := range n.Aggs {
-		switch spec.Fn {
-		case plan.AggSum:
-			if a.isFlt[i] {
-				out = append(out, data.Float(a.sums[i]))
-			} else {
-				out = append(out, data.Int(a.ints[i]))
-			}
-		case plan.AggAvg:
-			if a.counts[i] == 0 {
-				out = append(out, data.Null())
-			} else {
-				out = append(out, data.Float(a.sums[i]/float64(a.counts[i])))
-			}
-		case plan.AggCount:
-			out = append(out, data.Int(a.counts[i]))
-		case plan.AggMin:
-			out = append(out, normAggValue(a.mins[i]))
-		case plan.AggMax:
-			out = append(out, normAggValue(a.maxs[i]))
-		}
-	}
-	return out
-}
-
-// normAggValue maps date/bool extremes to ints per the schema derivation.
-func normAggValue(v data.Value) data.Value {
-	switch v.K {
-	case data.KindDate, data.KindBool:
-		return data.Int(v.I)
-	default:
-		return v
-	}
-}
-
-func applyHashAgg(n *plan.Node, in partitions) (partitions, float64, error) {
-	inSchema := n.Children[0].Schema()
-	// Size the group map from the input row count, discounted for grouping:
-	// far fewer groups than rows is the norm, but a fraction of the input
-	// is a much better starting size than an empty map.
-	groups := make(map[uint64][]*aggState, in.rows()/8+16)
-	for _, part := range in {
-		for _, r := range part {
-			h := r.Hash64(n.GroupBy...)
-			var st *aggState
-			for _, cand := range groups[h] {
-				if keyEqual(cand.key, r, n.GroupBy) {
-					st = cand
-					break
-				}
-			}
-			if st == nil {
-				key := make(data.Row, len(n.GroupBy))
-				for i, g := range n.GroupBy {
-					key[i] = r[g]
-				}
-				st = newAggState(n, inSchema, key)
-				groups[h] = append(groups[h], st)
-			}
-			st.update(n, r)
-		}
-	}
-	count := len(in)
+func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	cost := OperatorCost(n.Kind, inStats.Rows, 0, inStats.Bytes)
+	count := n.Part.Count
 	if count < 1 {
 		count = 1
 	}
-	out := make(partitions, count)
-	outKeys := make([]int, len(n.GroupBy))
-	for i := range outKeys {
-		outKeys[i] = i
-	}
-	for _, bucket := range groups {
-		for _, st := range bucket {
-			r := st.emit(n)
-			p := 0
-			if len(outKeys) > 0 {
-				p = int(r.Hash64(outKeys...) % uint64(count))
-			}
-			out[p] = append(out[p], r)
+	switch n.Part.Kind {
+	case plan.PartSingleton:
+		return partitions{in.flatten()}, inStats.Bytes, cost, nil
+	case plan.PartHash:
+		cols := n.Part.Cols
+		out := scatterRows(in, inStats.Rows, count, func(_, _ int, r data.Row) int {
+			return int(r.Hash64(cols...) % uint64(count))
+		})
+		return out, inStats.Bytes, cost, nil
+	case plan.PartRoundRobin:
+		// A row's destination is its global scan index mod count; starts
+		// turns (partition, offset) into that global index so the scatter
+		// can run partition-parallel.
+		starts := make([]int, len(in))
+		idx := 0
+		for i, part := range in {
+			starts[i] = idx
+			idx += len(part)
 		}
+		out := scatterRows(in, inStats.Rows, count, func(i, j int, _ data.Row) int {
+			return (starts[i] + j) % count
+		})
+		return out, inStats.Bytes, cost, nil
+	case plan.PartRange:
+		// Parallel sort: a range exchange globally sorts on the range
+		// columns (full-row tie-break for determinism) and slices into
+		// equi-depth partitions. It pays sort cost on top of shuffle cost.
+		keys := fullRowTieBreak(n.Part.Cols, in)
+		rows := sortedFlatten(in, inStats.Rows, keys, nil)
+		if nr := float64(len(rows)); nr > 1 {
+			cost += nr * costPerRowSortBase * math.Log2(nr)
+		}
+		return sliceEquiDepth(rows, count), inStats.Bytes, cost, nil
+	default:
+		return in, inStats.Bytes, cost, nil
 	}
-	// Map iteration order is random; emit each partition in group-key
-	// order so execution is deterministic (downstream Sort/Top tie-breaks
-	// must not depend on map order — results would vary run to run).
-	for _, part := range out {
-		data.SortRows(part, outKeys, nil)
-	}
-	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
 }
 
-func keyEqual(key data.Row, r data.Row, groupBy []int) bool {
-	for i, g := range groupBy {
-		if !data.Equal(key[i], r[g]) {
-			return false
-		}
-	}
-	return true
-}
-
-func applyStreamAgg(n *plan.Node, in partitions) (partitions, float64, error) {
-	rows := in.flatten()
-	data.SortRows(rows, n.GroupBy, nil)
-	inSchema := n.Children[0].Schema()
-	var out []data.Row
-	var cur *aggState
-	for _, r := range rows {
-		if cur == nil || !keyEqual(cur.key, r, n.GroupBy) {
-			if cur != nil {
-				out = append(out, cur.emit(n))
-			}
-			key := make(data.Row, len(n.GroupBy))
-			for i, g := range n.GroupBy {
-				key[i] = r[g]
-			}
-			cur = newAggState(n, inSchema, key)
-		}
-		cur.update(n, r)
-	}
-	if cur != nil {
-		out = append(out, cur.emit(n))
-	}
-	return partitions{out}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
-}
-
-func applySort(n *plan.Node, in partitions) (partitions, float64, error) {
-	rows := in.flatten()
+func applySort(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Tie-break on the full row so sort order is a total order: a Top
 	// above the sort must select the same rows whether its input was
 	// recomputed or read back from a materialized view (whose physical
 	// layout may legally differ).
-	allCols := make([]int, 0)
-	if len(rows) > 0 {
-		for i := range rows[0] {
-			allCols = append(allCols, i)
-		}
-	}
-	sortKeys := append(append([]int(nil), n.SortKeys...), allCols...)
+	sortKeys := fullRowTieBreak(n.SortKeys, in)
 	desc := append([]bool(nil), n.Desc...)
-	data.SortRows(rows, sortKeys, desc)
-	return partitions{rows}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	rows := sortedFlatten(in, inStats.Rows, sortKeys, desc)
+	return partitions{rows}, inStats.Bytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyTop(n *plan.Node, in partitions) (partitions, float64, error) {
+func applyTop(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	rows := in.flatten()
+	outBytes := inStats.Bytes
 	if int64(len(rows)) > n.N {
 		rows = rows[:n.N]
+		outBytes = -1 // truncated: the survivors must be re-measured
 	}
-	return partitions{rows}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	return partitions{rows}, outBytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyUnion(n *plan.Node, in []partitions) (partitions, float64, error) {
-	var out partitions
-	var total int64
+func applyUnion(n *plan.Node, in []partitions, inStats []*Stats) (partitions, int64, float64, error) {
+	var totalParts int
+	var totalRows, totalBytes int64
+	for i, p := range in {
+		totalParts += len(p)
+		totalRows += inStats[i].Rows
+		totalBytes += inStats[i].Bytes
+	}
+	// The output header is a fresh outer slice sized up front — it never
+	// aliases any input's outer slice, so a downstream operator replacing
+	// or reordering output partitions cannot corrupt a shared input.
+	// (The inner partition slices are shared, like every pass-through
+	// operator: rows are immutable and partition slices are never mutated
+	// in place.)
+	out := make(partitions, 0, totalParts)
 	for _, p := range in {
 		out = append(out, p...)
-		total += p.rows()
 	}
-	return out, OperatorCost(n.Kind, total, 0, 0), nil
+	return out, totalBytes, OperatorCost(n.Kind, totalRows, 0, 0), nil
 }
 
-func applyProcess(n *plan.Node, in partitions) (partitions, float64, error) {
-	out := forEachPartition(in, func(_ int, part []data.Row) []data.Row {
+func applyProcess(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
+		arena := data.NewRowArenaSized(len(part) * (width(part) + 1))
 		rows := make([]data.Row, len(part))
 		for j, r := range part {
-			nr := make(data.Row, 0, len(r)+1)
-			nr = append(nr, r...)
-			nr = append(nr, udoValue(r, n.UDOCodeHash))
-			rows[j] = nr
+			rows[j] = arena.Extend(r, udoValue(r, n.UDOCodeHash))
 		}
 		return rows
 	})
-	return out, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
+}
+
+// width returns the column count of the first row, the emit-width hint for
+// extend-shaped kernels (0 on empty input keeps the arena default-sized).
+func width(rows []data.Row) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0])
 }
 
 // udoValue is the deterministic stand-in body for user-defined operators:
@@ -694,11 +486,11 @@ func udoValue(r data.Row, codeHash string) data.Value {
 	return data.Int(int64(h & 0x7fffffffffffffff))
 }
 
-func applyReduce(n *plan.Node, in partitions) (partitions, float64, error) {
+func applyReduce(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Group rows, then append a deterministic per-group value derived
 	// from the group key and the UDO code hash.
-	rows := in.flatten()
-	data.SortRows(rows, n.GroupBy, nil)
+	rows := sortedFlatten(in, inStats.Rows, n.GroupBy, nil)
+	arena := data.NewRowArenaSized(len(rows) * (width(rows) + 1))
 	out := make([]data.Row, len(rows))
 	var groupVal data.Value
 	var prev data.Row
@@ -712,12 +504,9 @@ func applyReduce(n *plan.Node, in partitions) (partitions, float64, error) {
 			groupVal = data.Int(int64(h & 0x7fffffffffffffff))
 			prev = r
 		}
-		nr := make(data.Row, 0, len(r)+1)
-		nr = append(nr, r...)
-		nr = append(nr, groupVal)
-		out[i] = nr
+		out[i] = arena.Extend(r, groupVal)
 	}
-	return partitions{out}, OperatorCost(n.Kind, in.rows(), 0, 0), nil
+	return partitions{out}, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
 func sameKey(a, b data.Row, keys []int) bool {
@@ -729,13 +518,11 @@ func sameKey(a, b data.Row, keys []int) bool {
 	return true
 }
 
-func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) (partitions, float64, error) {
+func (e *Executor) applyMaterialize(n *plan.Node, in partitions, inStats *Stats, st *execState) (partitions, int64, float64, error) {
 	// Enforce the mined physical design on the view copy.
-	viewParts := enforceDesign(in, n.MatProps)
-	var rows int64
-	for _, p := range viewParts {
-		rows += int64(len(p))
-	}
+	viewParts := enforceDesign(in, inStats.Rows, n.MatProps)
+	rows := partitions(viewParts).rows()
+	cost := OperatorCost(n.Kind, 0, rows, inStats.Bytes)
 	v := &storage.View{
 		Path:          n.MatPath,
 		PreciseSig:    n.MatPreciseSig,
@@ -749,13 +536,13 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) 
 	}
 	created, err := e.Store.Write(v)
 	if err != nil {
-		return nil, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
+		return nil, 0, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
 	}
 	if !created {
 		// Lost the first-writer-wins race to another builder (this job's
 		// build lock expired and both finished): the winner's copy is
 		// byte-identical, so drop ours and let the winner publish.
-		return in, OperatorCost(n.Kind, 0, rows, in.bytes()), nil
+		return in, inStats.Bytes, cost, nil
 	}
 	if e.OnViewMaterialized != nil {
 		e.OnViewMaterialized(v)
@@ -763,13 +550,15 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, st *execState) 
 	st.mu.Lock()
 	st.res.MaterializedPaths = append(st.res.MaterializedPaths, n.MatPath)
 	st.mu.Unlock()
-	return in, OperatorCost(n.Kind, 0, rows, in.bytes()), nil
+	return in, inStats.Bytes, cost, nil
 }
 
 // enforceDesign lays rows out according to the view's physical design:
 // hash or range partitioning on the design columns and per-partition sort
-// order.
-func enforceDesign(in partitions, props plan.PhysicalProps) [][]data.Row {
+// order. The layout kernels are the same parallel scatter / sorted-merge
+// primitives the exchange uses; the trailing per-partition sort fans out
+// across partitions (each sorts a freshly built slice, never shared input).
+func enforceDesign(in partitions, inRows int64, props plan.PhysicalProps) [][]data.Row {
 	var parts partitions
 	switch props.Part.Kind {
 	case plan.PartRange:
@@ -780,26 +569,9 @@ func enforceDesign(in partitions, props plan.PhysicalProps) [][]data.Row {
 				count = 1
 			}
 		}
-		rows := in.flatten()
-		keys := append([]int(nil), props.Part.Cols...)
-		if len(rows) > 0 {
-			for i := range rows[0] {
-				keys = append(keys, i)
-			}
-		}
-		data.SortRows(rows, keys, nil)
-		parts = make(partitions, count)
-		per := (len(rows) + count - 1) / count
-		for i := 0; i < count; i++ {
-			lo, hi := i*per, (i+1)*per
-			if lo > len(rows) {
-				lo = len(rows)
-			}
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			parts[i] = rows[lo:hi]
-		}
+		keys := fullRowTieBreak(props.Part.Cols, in)
+		rows := sortedFlatten(in, inRows, keys, nil)
+		parts = sliceEquiDepth(rows, count)
 	case plan.PartHash:
 		count := props.Part.Count
 		if count < 1 {
@@ -808,13 +580,10 @@ func enforceDesign(in partitions, props plan.PhysicalProps) [][]data.Row {
 				count = 1
 			}
 		}
-		parts = make(partitions, count)
-		for _, p := range in {
-			for _, r := range p {
-				i := int(r.Hash64(props.Part.Cols...) % uint64(count))
-				parts[i] = append(parts[i], r)
-			}
-		}
+		cols := props.Part.Cols
+		parts = scatterRows(in, inRows, count, func(_, _ int, r data.Row) int {
+			return int(r.Hash64(cols...) % uint64(count))
+		})
 	case plan.PartSingleton:
 		parts = partitions{in.flatten()}
 	default:
@@ -824,9 +593,9 @@ func enforceDesign(in partitions, props plan.PhysicalProps) [][]data.Row {
 		}
 	}
 	if len(props.Sort.Cols) > 0 {
-		for _, p := range parts {
-			data.SortRows(p, props.Sort.Cols, props.Sort.Desc)
-		}
+		parallelRange(len(parts), func(i int) {
+			data.SortRows(parts[i], props.Sort.Cols, props.Sort.Desc)
+		})
 	}
 	return parts
 }

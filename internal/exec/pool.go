@@ -3,6 +3,7 @@ package exec
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // pool is the package-level worker pool shared by every executor in the
@@ -46,3 +47,37 @@ func (p *workerPool) trySpawn(wg *sync.WaitGroup, fn func()) bool {
 
 // size returns the pool's worker budget.
 func (p *workerPool) size() int { return cap(p.tokens) }
+
+// parallelRange runs fn(i) for every i in [0, n), fanning out through the
+// shared pool. Indexes are claimed by atomic counter, so the fan-out
+// occupies at most the pool's worker budget plus the calling goroutine,
+// and fn runs exactly once per index. fn must only write state owned by
+// its index (output slot i, disjoint slice ranges); parallelRange returns
+// only after every index completes, which establishes the happens-before
+// edge making those writes visible to the caller.
+func parallelRange(n int, fn func(i int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for helpers := 0; helpers < n-1; helpers++ {
+		if !pool.trySpawn(&wg, work) {
+			break
+		}
+	}
+	work()
+	wg.Wait()
+}

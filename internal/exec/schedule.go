@@ -98,10 +98,12 @@ func (d *dagRun) exec(n *plan.Node) {
 		return
 	}
 	childParts := make([]partitions, len(n.Children))
+	childStats := make([]*Stats, len(n.Children))
 	var childLatency, childCumCost float64
 	for i, c := range n.Children {
 		childParts[i] = d.outs[c]
 		cs := d.st.res.NodeStats[c]
+		childStats[i] = cs
 		if cs.Latency > childLatency {
 			childLatency = cs.Latency
 		}
@@ -109,7 +111,14 @@ func (d *dagRun) exec(n *plan.Node) {
 	}
 	d.mu.Unlock()
 
-	out, cost, err := d.e.apply(n, childParts, d.st)
+	out, outBytes, cost, err := d.e.apply(n, childParts, childStats, d.st)
+
+	// Stats assembly (including any residual byte walk) happens outside
+	// the run lock; only the bookkeeping maps are guarded.
+	var ns *Stats
+	if err == nil {
+		ns = nodeStats(out, outBytes, cost, childLatency, childCumCost)
+	}
 
 	d.mu.Lock()
 	if err != nil {
@@ -123,19 +132,8 @@ func (d *dagRun) exec(n *plan.Node) {
 		d.mu.Unlock()
 		return
 	}
-	dop := len(out)
-	if dop < 1 {
-		dop = 1
-	}
 	d.outs[n] = out
-	d.st.res.NodeStats[n] = &Stats{
-		Rows:           out.rows(),
-		Bytes:          out.bytes(),
-		ExclusiveCost:  cost,
-		CumulativeCost: childCumCost + cost,
-		Latency:        childLatency + latencyShare(cost, out),
-		DOP:            dop,
-	}
+	d.st.res.NodeStats[n] = ns
 	var newlyReady []*plan.Node
 	for _, p := range d.parents[n] {
 		d.waiting[p]--

@@ -9,6 +9,14 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
+# Parallel data-plane kernels under the race detector, by name: the
+# partition-parallel join/agg/exchange/sort paths and the skewed-partition
+# stress that diffs them against the serial FailAfter-path reference.
+go test -race -run='TestSkewStress|TestParallelScheduler|TestViewScanConcurrent|TestExecutionDeterminism|TestMergeJoinMatchesHashJoin' \
+	-count=1 ./internal/exec/
+# Exec kernel benchmark smoke: one iteration of every data-plane benchmark
+# exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
+go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
 # Frontend hot-path benchmarks (per-job submission cost): one iteration
 # verifies the benchmark harnesses and their internal assertions.
 go test -run='^$' -bench='^BenchmarkSignature$|^BenchmarkOptimizeFrontend$|^BenchmarkMetadataLookup' \
