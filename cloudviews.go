@@ -25,6 +25,7 @@ import (
 	"cloudviews/internal/core"
 	"cloudviews/internal/data"
 	"cloudviews/internal/expr"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/metadata"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/script"
@@ -144,6 +145,19 @@ type (
 
 // NewService wires a complete in-process job service around a catalog.
 var NewService = core.NewService
+
+// FaultConfig sets the per-class probabilities of a seeded fault schedule;
+// FaultInjector is the deterministic injector Service.InstallFaults wires
+// into every layer; RecoveryStats is the service-wide recovery counters
+// returned by Service.Recovery.
+type (
+	FaultConfig   = fault.Config
+	FaultInjector = fault.Injector
+	RecoveryStats = core.RecoveryStats
+)
+
+// NewFaultInjector builds an injector from a seeded fault schedule.
+var NewFaultInjector = fault.NewInjector
 
 // Annotation is one analyzer-selected view the metadata service serves.
 type Annotation = metadata.Annotation

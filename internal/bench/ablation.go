@@ -317,6 +317,20 @@ type EarlyMatAblationResult struct {
 	LateCPU  float64
 }
 
+// crashAtKind is an exec.FaultHook that permanently crashes the first
+// operator of the targeted kind — the builder-failure probe for the
+// early-materialization ablation.
+type crashAtKind struct{ kind plan.OpKind }
+
+func (c crashAtKind) VertexDone(_, _ string, k plan.OpKind, _ int) error {
+	if k == c.kind {
+		return fmt.Errorf("injected builder crash")
+	}
+	return nil
+}
+
+func (c crashAtKind) VertexDelay(string, string, plan.OpKind) float64 { return 0 }
+
 // RunEarlyMatAblation injects a builder failure after the view seals and
 // measures the follow-up job's CPU under both publication modes.
 func RunEarlyMatAblation(seed int64) (*EarlyMatAblationResult, error) {
@@ -357,16 +371,13 @@ func RunEarlyMatAblation(seed int64) (*EarlyMatAblationResult, error) {
 		svc := core.NewService(w.Catalog, core.Config{Enabled: true, MaxViewsPerJob: 1, LatePublish: late})
 		svc.Meta.LoadAnalysis(an.Annotations)
 		// The builder crashes right after the Materialize operator runs.
-		svc.Exec.FailAfter = func(n *plan.Node) error {
-			if n.Kind == plan.OpMaterialize {
-				return fmt.Errorf("injected builder crash")
-			}
-			return nil
-		}
+		// The crash is permanent (not Transient), so the vertex-retry loop
+		// fails the job on the first attempt.
+		svc.Exec.Faults = crashAtKind{plan.OpMaterialize}
 		if _, err := svc.Submit(core.JobSpec{Meta: builder.Meta, Root: builder.Root}); err == nil {
 			return 0, errors.New("bench: expected injected failure")
 		}
-		svc.Exec.FailAfter = nil
+		svc.Exec.Faults = nil
 		r, err := svc.Submit(core.JobSpec{Meta: next.Meta, Root: next.Root})
 		if err != nil {
 			return 0, err

@@ -96,8 +96,18 @@ func (vc *VC) insert(r interval) {
 	vc.resv[i] = r
 }
 
+// FaultHook is the cluster's fault-injection seam (see internal/fault):
+// AdmitDelay returns extra simulated seconds a job's admission is pushed
+// back by (preemption / queue pressure); 0 means no disturbance.
+type FaultHook interface {
+	AdmitDelay(vc string, at int64) int64
+}
+
 // Scheduler admits jobs to VCs under token capacity over simulated time.
 type Scheduler struct {
+	// Faults, if set, can delay admissions. Production runs leave it nil.
+	Faults FaultHook
+
 	mu  sync.Mutex
 	vcs map[string]*VC
 }
@@ -145,6 +155,13 @@ func (s *Scheduler) Admit(vcName string, tokens int, at, duration int64) (start 
 	}
 	if duration < 1 {
 		duration = 1
+	}
+	// An injected preemption delays the effective submission instant; the
+	// reservation search proceeds normally from the pushed-back time.
+	if s.Faults != nil {
+		if d := s.Faults.AdmitDelay(vcName, at); d > 0 {
+			at += d
+		}
 	}
 	vc.retire(at)
 	start = vc.earliestFit(tokens, at, duration)

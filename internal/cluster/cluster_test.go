@@ -158,3 +158,32 @@ func TestAdmitFindsGapAtBoundary(t *testing.T) {
 		t.Errorf("start=%d err=%v, want 10", start, err)
 	}
 }
+
+// delayHook pushes every admission back by a fixed amount.
+type delayHook struct{ d int64 }
+
+func (h delayHook) AdmitDelay(string, int64) int64 { return h.d }
+
+// TestAdmitFaultDelay: an injected preemption delays the job's start but
+// never breaks capacity accounting.
+func TestAdmitFaultDelay(t *testing.T) {
+	s := NewScheduler()
+	s.AddVC("vc", 10)
+	s.Faults = delayHook{d: 5}
+	start, err := s.Admit("vc", 10, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 105 {
+		t.Fatalf("start = %d, want 105 (delayed admission)", start)
+	}
+	// A second full-capacity job queues behind the first from its own
+	// delayed instant.
+	start2, err := s.Admit("vc", 10, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start2 != 115 {
+		t.Fatalf("second start = %d, want 115", start2)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"cloudviews/internal/fault"
+)
+
+// chaosRounds returns the soak length: the CHAOS_ROUNDS env knob, or the
+// default that pushes the soak past 200 jobs (the acceptance floor).
+func chaosRounds() int {
+	if v := os.Getenv("CHAOS_ROUNDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 6
+}
+
+// TestChaosSoak drives batches of concurrent jobs through a service with a
+// randomized (but seeded, hence reproducible) fault schedule — vertex
+// crashes, slow stages, storage read/write failures, silent view
+// corruption, metadata blackouts, admission preemptions — and asserts the
+// crash invariants of TestRandomFailureInjection now under concurrency and
+// partial recovery:
+//
+//  1. zero wrong results: every job validates byte-for-byte against a
+//     clean baseline execution (Config.ValidateResults),
+//  2. zero wedged locks and store↔metadata consistency after every round,
+//  3. liveness: after the faults stop, a fresh submitter still builds or
+//     reuses.
+//
+// Single-partition transient vertex failures must recover via retry — with
+// the configured rates no job is expected to fail at all; any submission
+// error fails the test.
+func TestChaosSoak(t *testing.T) {
+	rounds := chaosRounds()
+	const (
+		instancesPerRound = 3
+		jobsPerInstance   = 12 // 6 specA + 6 specB variants
+	)
+	totalJobs := 0
+	var agg RecoveryStats
+
+	for round := 0; round < rounds; round++ {
+		s := newService(t) // ValidateResults on: every job byte-diffs vs clean baseline
+		s.Sched = newSchedulerWithVC("vc1", 64)
+		seedHistory(t, s)
+		totalJobs += 2
+
+		in := fault.NewInjector(fault.Config{
+			Seed:          int64(1000 + round),
+			VertexCrash:   0.03,
+			VertexSlow:    0.10,
+			SlowDelay:     5,
+			StorageRead:   0.03,
+			StorageWrite:  0.02,
+			CorruptWrite:  0.10,
+			MetaBlackout:  0.08,
+			AdmitDelay:    0.10,
+			AdmitDelayMax: 20,
+		})
+		s.InstallFaults(in)
+
+		for inst := int64(1); inst <= instancesPerRound; inst++ {
+			deliver(t, s.Catalog, inst)
+			s.BeginInstance(inst)
+			var batch []JobSpec
+			for j := 0; j < jobsPerInstance/2; j++ {
+				batch = append(batch,
+					specA(fmt.Sprintf("r%d-i%d-a%d", round, inst, j), inst),
+					specB(fmt.Sprintf("r%d-i%d-b%d", round, inst, j), inst))
+			}
+			if _, err := s.SubmitBatch(batch, 8); err != nil {
+				t.Fatalf("round %d instance %d: job failed under chaos: %v", round, inst, err)
+			}
+			totalJobs += len(batch)
+
+			// Store↔metadata consistency after every instance: every
+			// registered view has its file.
+			for _, mv := range s.Meta.Views() {
+				if _, err := s.Store.Get(mv.Path); err != nil {
+					t.Fatalf("round %d: metadata references missing file %s", round, mv.Path)
+				}
+			}
+		}
+
+		// Faults off: the service must be fully live again.
+		s.InstallFaults(nil)
+		if _, _, locks, _, _ := s.Meta.Stats(); locks != 0 {
+			t.Fatalf("round %d: %d build locks wedged after all jobs completed", round, locks)
+		}
+		follow, err := s.Submit(specB(fmt.Sprintf("r%d-follow", round), instancesPerRound))
+		if err != nil {
+			t.Fatalf("round %d: clean follow-up failed: %v", round, err)
+		}
+		if len(follow.Decision.ViewsUsed)+len(follow.Decision.ViewsBuilt) == 0 {
+			t.Fatalf("round %d: follow-up neither built nor reused (wedged?)", round)
+		}
+		totalJobs++
+
+		rec := s.Recovery()
+		agg.VertexRetries += rec.VertexRetries
+		agg.QuarantinedViews += rec.QuarantinedViews
+		agg.DegradedReplans += rec.DegradedReplans
+		agg.ReuseSkipped += rec.ReuseSkipped
+		if fired := in.TotalFired(); fired == 0 {
+			t.Fatalf("round %d: injector fired nothing — the soak tested nothing", round)
+		}
+	}
+
+	if wantFloor := 200; rounds >= 6 && totalJobs < wantFloor {
+		t.Fatalf("soak ran %d jobs, acceptance floor is %d", totalJobs, wantFloor)
+	}
+	// The fault classes must actually have exercised the recovery paths.
+	if agg.VertexRetries == 0 {
+		t.Error("no vertex retries over the whole soak — retry path untested")
+	}
+	if agg.ReuseSkipped == 0 {
+		t.Error("no degraded lookups over the whole soak — blackout path untested")
+	}
+	t.Logf("chaos soak: %d jobs, recovery=%+v", totalJobs, agg)
+}

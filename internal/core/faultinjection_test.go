@@ -4,11 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 )
+
+// crashAtStep permanently crashes the failAt-th completing vertex.
+type crashAtStep struct {
+	failAt int64
+	step   atomic.Int64
+}
+
+func (c *crashAtStep) VertexDone(_, _ string, _ plan.OpKind, _ int) error {
+	if c.step.Add(1) == c.failAt {
+		return errors.New("injected")
+	}
+	return nil
+}
+
+func (c *crashAtStep) VertexDelay(string, string, plan.OpKind) float64 { return 0 }
 
 // TestRandomFailureInjection crashes jobs at random operators and checks
 // the system's crash invariants after every failure:
@@ -31,17 +47,13 @@ func TestRandomFailureInjection(t *testing.T) {
 		deliver(t, s.Catalog, 1)
 
 		// Crash the builder at a uniformly random operator position.
-		failAt := rng.Intn(10)
-		step := 0
-		s.Exec.FailAfter = func(n *plan.Node) error {
-			step++
-			if step == failAt {
-				return errors.New("injected")
-			}
-			return nil
-		}
+		// Under the parallel scheduler *which* operator is the Nth to
+		// complete varies run to run — irrelevant here, since the
+		// invariants must hold no matter where the crash lands.
+		hook := &crashAtStep{failAt: int64(rng.Intn(10))}
+		s.Exec.Faults = hook
 		_, err := s.Submit(specA(fmt.Sprintf("crash-%d", round), 1))
-		s.Exec.FailAfter = nil
+		s.Exec.Faults = nil
 		crashed := err != nil
 
 		// Invariant 1: store/metadata consistency.

@@ -12,15 +12,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cloudviews/internal/analyzer"
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/data"
 	"cloudviews/internal/exec"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/metadata"
 	"cloudviews/internal/optimizer"
 	"cloudviews/internal/plan"
@@ -48,6 +51,11 @@ type Config struct {
 	// Exists for the early-materialization ablation; production keeps
 	// early publication on.
 	LatePublish bool
+	// MetadataStrict makes metadata-service lookup failures abort the job
+	// instead of degrading to no-reuse. Off (the default) a job whose
+	// RelevantViews round trip fails simply runs its original plan — reuse
+	// is an optimization, never a dependency.
+	MetadataStrict bool
 }
 
 // JobSpec is one job submission.
@@ -91,7 +99,58 @@ type Service struct {
 	Opt     *optimizer.Optimizer
 	Config  Config
 
-	changes changeTracker
+	changes  changeTracker
+	recovery recoveryCounters
+}
+
+// RecoveryStats snapshots the service's fault-recovery counters: how many
+// vertex attempts were retried, how many views were quarantined after
+// failing integrity/existence checks, how many mid-submit replans those
+// quarantines forced, and how many jobs skipped reuse because the metadata
+// service was unreachable.
+type RecoveryStats struct {
+	VertexRetries    int64
+	QuarantinedViews int64
+	DegradedReplans  int64
+	ReuseSkipped     int64
+}
+
+type recoveryCounters struct {
+	retries     atomic.Int64
+	quarantined atomic.Int64
+	replans     atomic.Int64
+	reuseSkip   atomic.Int64
+}
+
+// Recovery returns the service's fault-recovery counters.
+func (s *Service) Recovery() RecoveryStats {
+	return RecoveryStats{
+		VertexRetries:    s.recovery.retries.Load(),
+		QuarantinedViews: s.recovery.quarantined.Load(),
+		DegradedReplans:  s.recovery.replans.Load(),
+		ReuseSkipped:     s.recovery.reuseSkip.Load(),
+	}
+}
+
+// InstallFaults wires one fault injector into every layer of the service:
+// executor vertices, the view store, metadata lookups, and (when a
+// scheduler is attached) cluster admission. Passing nil removes the hooks.
+func (s *Service) InstallFaults(in *fault.Injector) {
+	if in == nil {
+		s.Exec.Faults = nil
+		s.Store.Faults = nil
+		s.Meta.Faults = nil
+		if s.Sched != nil {
+			s.Sched.Faults = nil
+		}
+		return
+	}
+	s.Exec.Faults = in
+	s.Store.Faults = in
+	s.Meta.Faults = in
+	if s.Sched != nil {
+		s.Sched.Faults = in
+	}
 }
 
 // NewService wires a complete in-process job service around a catalog.
@@ -101,6 +160,11 @@ func NewService(cat *catalog.Catalog, cfg Config) *Service {
 	if cfg.MaxViewsPerJob == 0 {
 		cfg.MaxViewsPerJob = 1
 	}
+	// Storage-initiated reclamation (utility-based eviction, direct
+	// purges) must drop the metadata registration before the file goes
+	// away, or metadata would briefly advertise views that no longer
+	// exist (the §5.4 ordering, enforced from the storage side too).
+	st.Deregister = func(preciseSig, _ string) { meta.Unregister(preciseSig) }
 	s := &Service{
 		Catalog: cat,
 		Store:   st,
@@ -211,16 +275,17 @@ func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
 	jr := &JobResult{Spec: spec, Plan: spec.Root, Decision: &optimizer.Decision{}}
 
 	if s.vcEnabled(spec.Meta.VC) {
-		anns := s.Meta.RelevantViews(spec.Meta.VC, defaultTags(spec))
-		jr.AnnotationsUsed = annotationsSnapshot(anns)
-		jr.Plan, jr.Decision = s.Opt.Optimize(spec.Root, spec.Meta.JobID, anns, now)
+		if err := s.planWithReuse(jr, spec, now); err != nil {
+			return nil, err
+		}
 	}
 
-	res, err := s.execute(jr.Plan, spec, jr.Decision, now)
+	res, err := s.executeRecovering(jr, spec, now)
 	if err != nil {
 		return nil, err
 	}
 	jr.Result = res
+	s.recovery.retries.Add(int64(res.Retries))
 
 	// Queueing: reserve VC capacity for the job's simulated duration.
 	jr.StartTime = now
@@ -253,6 +318,88 @@ func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
 		}
 	}
 	return jr, nil
+}
+
+// planWithReuse performs the metadata lookup and reuse optimization for
+// one submission attempt, implementing the first rung of the degradation
+// ladder: when the metadata service is unreachable (and MetadataStrict is
+// off), the job simply keeps its original plan — reuse skipped, counted,
+// never fatal.
+func (s *Service) planWithReuse(jr *JobResult, spec JobSpec, now int64) error {
+	anns, err := s.Meta.TryRelevantViews(spec.Meta.VC, defaultTags(spec))
+	if err != nil {
+		if s.Config.MetadataStrict {
+			return fmt.Errorf("core: metadata lookup for job %s: %w", spec.Meta.JobID, err)
+		}
+		s.recovery.reuseSkip.Add(1)
+		jr.Plan = spec.Root
+		jr.Decision = &optimizer.Decision{MetaUnavailable: true}
+		jr.AnnotationsUsed = nil
+		return nil
+	}
+	jr.AnnotationsUsed = annotationsSnapshot(anns)
+	jr.Plan, jr.Decision = s.Opt.Optimize(spec.Root, spec.Meta.JobID, anns, now)
+	return nil
+}
+
+// maxReplans bounds the quarantine-and-replan loop. Each round removes one
+// broken view from the metadata service, so the loop strictly shrinks the
+// reusable set; the bound only guards against pathological plans.
+const maxReplans = 4
+
+// executeRecovering is the second rung of the degradation ladder: a job
+// whose optimized plan trips over a corrupt or vanished view does not
+// fail — the view is quarantined (deregistered from metadata, deleted from
+// storage) and the job is transparently re-optimized from its pristine
+// plan, which can no longer select the quarantined view. Transient vertex
+// failures never reach this level (the executor's retry loop absorbs
+// them); permanent non-view failures propagate unchanged.
+func (s *Service) executeRecovering(jr *JobResult, spec JobSpec, now int64) (*exec.Result, error) {
+	var quarantined []string
+	for replan := 0; ; replan++ {
+		res, err := s.execute(jr.Plan, spec, jr.Decision, now)
+		if err == nil {
+			jr.Decision.QuarantinedViews = quarantined
+			return res, nil
+		}
+		sig, path, ok := viewFailure(err, jr.Decision)
+		if !ok || replan >= maxReplans || !s.vcEnabled(spec.Meta.VC) {
+			return nil, err
+		}
+		// Quarantine: deregister first so no new consumer selects the view
+		// (the §5.4 ordering), then drop the broken payload.
+		if sig != "" {
+			s.Meta.Unregister(sig)
+		}
+		s.Store.Delete(path)
+		quarantined = append(quarantined, path)
+		s.recovery.quarantined.Add(1)
+		s.recovery.replans.Add(1)
+		if err := s.planWithReuse(jr, spec, now); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// viewFailure classifies an execution error as a recoverable view problem,
+// returning the precise signature and path to quarantine. Corrupt views
+// carry their own identity; a vanished view is recovered through the
+// decision's used-view list (an arbitrary missing path — e.g. a user plan
+// scanning a dead view directly — is not recoverable by replanning).
+func viewFailure(err error, dec *optimizer.Decision) (sig, path string, ok bool) {
+	var ce *storage.CorruptError
+	if errors.As(err, &ce) {
+		return ce.PreciseSig, ce.Path, true
+	}
+	var nf *storage.NotFoundError
+	if errors.As(err, &nf) {
+		for _, v := range dec.ViewsUsed {
+			if v.Path == nf.Path {
+				return v.PreciseSig, v.Path, true
+			}
+		}
+	}
+	return "", "", false
 }
 
 // execute runs the plan with the early-materialization hook wired: each

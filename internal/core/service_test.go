@@ -245,6 +245,19 @@ func TestExpiryPurgesViews(t *testing.T) {
 	}
 }
 
+// crashKindHook is an exec.FaultHook that permanently crashes every vertex
+// of one operator kind (no Transient marker, so retries don't save it).
+type crashKindHook struct{ kind plan.OpKind }
+
+func (c crashKindHook) VertexDone(_, _ string, k plan.OpKind, _ int) error {
+	if k == c.kind {
+		return errors.New("injected failure")
+	}
+	return nil
+}
+
+func (c crashKindHook) VertexDelay(string, string, plan.OpKind) float64 { return 0 }
+
 func TestBuilderFailureReleasesLockAndKeepsSealedViews(t *testing.T) {
 	s := newService(t)
 	s.Config.ValidateResults = false
@@ -253,16 +266,11 @@ func TestBuilderFailureReleasesLockAndKeepsSealedViews(t *testing.T) {
 
 	// Make the builder fail after the Materialize seals (at the Sort
 	// above it). The view survives as a checkpoint.
-	s.Exec.FailAfter = func(n *plan.Node) error {
-		if n.Kind == plan.OpSort {
-			return errors.New("injected failure")
-		}
-		return nil
-	}
+	s.Exec.Faults = crashKindHook{plan.OpSort}
 	if _, err := s.Submit(specA("a1-fail", 1)); err == nil {
 		t.Fatal("expected injected failure")
 	}
-	s.Exec.FailAfter = nil
+	s.Exec.Faults = nil
 	if s.Store.Len() != 1 {
 		t.Fatal("early-materialized view should survive builder failure")
 	}
@@ -283,16 +291,11 @@ func TestBuilderFailureBeforeSealAllowsRetry(t *testing.T) {
 	deliver(t, s.Catalog, 1)
 
 	// Fail before the Materialize runs: at the Exchange under it.
-	s.Exec.FailAfter = func(n *plan.Node) error {
-		if n.Kind == plan.OpExchange {
-			return errors.New("early injected failure")
-		}
-		return nil
-	}
+	s.Exec.Faults = crashKindHook{plan.OpExchange}
 	if _, err := s.Submit(specA("a1-fail", 1)); err == nil {
 		t.Fatal("expected injected failure")
 	}
-	s.Exec.FailAfter = nil
+	s.Exec.Faults = nil
 	if s.Store.Len() != 0 {
 		t.Fatal("no view should exist after pre-seal failure")
 	}

@@ -203,7 +203,7 @@ func TestRangeDesignedView(t *testing.T) {
 // rest finish instantly — the scheduling pattern most likely to expose an
 // order-dependent merge. Twenty parallel executions of a
 // filter→join→shuffle→agg→materialize→sort pipeline must each be
-// byte-identical to the serial FailAfter-path reference: ordered outputs,
+// byte-identical to the serial reference walk (Executor.Serial): ordered outputs,
 // exact TotalCPU/Latency floats, per-node Stats, and MaterializedPaths.
 func TestSkewStressParallelMatchesSerial(t *testing.T) {
 	const parts = 64

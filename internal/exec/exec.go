@@ -16,16 +16,82 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/storage"
 )
+
+// FaultHook is the executor's fault-injection seam (see internal/fault).
+// VertexDone is consulted after each operator attempt finishes its kernel;
+// a non-nil error crashes that attempt (the vertex-retry loop decides
+// whether to re-run it). VertexDelay returns extra simulated latency for a
+// straggling vertex. Both are keyed by a scheduler-independent site string
+// ("<plan ordinal>/<op kind>") plus the attempt number, so a deterministic
+// hook makes identical decisions on the serial and parallel paths.
+type FaultHook interface {
+	VertexDone(job, site string, kind plan.OpKind, attempt int) error
+	VertexDelay(job, site string, kind plan.OpKind) float64
+}
+
+// RetryPolicy bounds the per-vertex retry loop. Zero values select the
+// defaults; retries apply only to transient errors (see Transient).
+type RetryPolicy struct {
+	// MaxAttempts is the per-vertex attempt cap (default 4: one run plus
+	// up to three retries).
+	MaxAttempts int
+	// JobBudget caps total retries across all vertices of one job
+	// (default 16), so a systematically failing stage cannot retry forever
+	// even with many partitioned siblings.
+	JobBudget int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff, in
+	// simulated seconds (defaults 1 and 30). Backoff is simulated time —
+	// it feeds the latency clock, never a wall-clock sleep.
+	BaseBackoff float64
+	MaxBackoff  float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.JobBudget <= 0 {
+		p.JobBudget = 16
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 1
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 30
+	}
+	return p
+}
+
+// Backoff returns the simulated wait before re-running a vertex whose
+// attempt (0-based) just failed: BaseBackoff doubling per attempt, capped.
+func (p RetryPolicy) Backoff(attempt int) float64 {
+	d := p.BaseBackoff * math.Pow(2, float64(attempt))
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Transient reports whether err is marked retryable — anywhere in its
+// chain, something implements Transient() true. Injected faults and other
+// recoverable infrastructure errors carry the marker; semantic failures
+// (corrupt views, schema mismatches) do not and fail the vertex at once.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
 
 // Executor runs plans against a catalog of base tables and a view store.
 type Executor struct {
@@ -38,10 +104,18 @@ type Executor struct {
 	// the job manager reports the view while the job is still running.
 	OnViewMaterialized func(v *storage.View)
 
-	// FailAfter, if set, is consulted after each operator completes; a
-	// non-nil error aborts the job. Used to inject job failures for the
-	// early-materialization / checkpoint experiments.
-	FailAfter func(n *plan.Node) error
+	// Faults, if set, is consulted around every operator attempt on both
+	// execution paths. Production runs leave it nil.
+	Faults FaultHook
+
+	// Retry bounds the vertex-retry loop; the zero value means defaults.
+	Retry RetryPolicy
+
+	// Serial forces the depth-first reference walk instead of the DAG
+	// scheduler. It exists for differential tests (the serial walk is the
+	// executable spec the parallel scheduler is diffed against); fault
+	// hooks and retries run identically on both paths.
+	Serial bool
 }
 
 // Result is the outcome of one job execution.
@@ -57,6 +131,10 @@ type Result struct {
 	Latency float64
 	// MaterializedPaths lists views written during execution.
 	MaterializedPaths []string
+	// Retries counts vertex attempts that were re-run after a transient
+	// failure; RetryWait is the simulated backoff time they accumulated.
+	Retries   int
+	RetryWait float64
 }
 
 // partitions is the unit flowing between operators.
@@ -93,33 +171,53 @@ type execState struct {
 	memo map[*plan.Node]partitions
 	now  int64
 	job  string
+	// sites maps each node to its scheduler-independent fault-site key,
+	// "<ordinal in plan.Nodes order>/<op kind>".
+	sites map[*plan.Node]string
+	// budget is the job's remaining retry allowance, decremented atomically
+	// by concurrent vertices.
+	budget atomic.Int64
 	// mu guards the Result fields that operators mutate directly (output
-	// sinks, materialized paths): independent Output/Materialize nodes may
+	// sinks, materialized paths, retry counters): independent nodes may
 	// run concurrently under the DAG scheduler.
 	mu sync.Mutex
+}
+
+// noteRetry records one granted retry and its simulated backoff.
+func (st *execState) noteRetry(wait float64) {
+	st.mu.Lock()
+	st.res.Retries++
+	st.res.RetryWait += wait
+	st.mu.Unlock()
 }
 
 // Run executes the plan rooted at root. jobID tags provenance of any views
 // materialized; now is the simulated time used for view creation stamps.
 //
 // Independent subtrees execute concurrently on the shared worker pool
-// (see schedule.go); the simulated cost accounting is unaffected. When
-// FailAfter is set, execution falls back to the serial depth-first walk:
-// fault injection crashes "after the Nth operator", which only means
-// something under a deterministic operator completion order. The
-// per-operator kernels themselves are identical on both paths, so serial
-// and scheduled executions produce byte-identical results.
+// (see schedule.go) unless Serial selects the depth-first reference walk.
+// Every operator attempt flows through the vertex-retry loop (runVertex):
+// transient failures — injected or infrastructural — re-run the vertex
+// with capped exponential backoff under a per-job budget. The kernels are
+// identical on both paths and fault sites are keyed by plan position, not
+// completion order, so serial and scheduled executions produce
+// byte-identical results even under a deterministic fault schedule.
 func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error) {
 	st := &execState{
 		res: &Result{
 			Outputs:   map[string][]data.Row{},
 			NodeStats: map[*plan.Node]*Stats{},
 		},
-		memo: map[*plan.Node]partitions{},
-		now:  now,
-		job:  jobID,
+		memo:  map[*plan.Node]partitions{},
+		now:   now,
+		job:   jobID,
+		sites: map[*plan.Node]string{},
 	}
-	if e.FailAfter != nil {
+	for i, n := range plan.Nodes(root) {
+		st.sites[n] = fmt.Sprintf("%d/%s", i, n.Kind)
+	}
+	st.budget.Store(int64(e.Retry.withDefaults().JobBudget))
+	if e.Serial {
 		if _, err := e.run(root, st); err != nil {
 			return nil, err
 		}
@@ -161,20 +259,57 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 		childCumCost += cs.CumulativeCost
 	}
 
-	out, outBytes, cost, err := e.apply(n, childParts, childStats, st)
+	out, outBytes, cost, extra, err := e.runVertex(n, childParts, childStats, st)
 	if err != nil {
 		return nil, err
 	}
 
-	st.res.NodeStats[n] = nodeStats(out, outBytes, cost, childLatency, childCumCost)
+	ns := nodeStats(out, outBytes, cost, childLatency, childCumCost)
+	ns.Latency += extra
+	st.res.NodeStats[n] = ns
 	st.memo[n] = out
-
-	if e.FailAfter != nil {
-		if ferr := e.FailAfter(n); ferr != nil {
-			return nil, ferr
-		}
-	}
 	return out, nil
+}
+
+// runVertex is the vertex-retry loop shared by the serial walk and the DAG
+// scheduler: it runs one operator attempt (kernel plus fault hook) and
+// re-runs it on transient failure, up to the policy's per-vertex attempt
+// cap and the job's shared retry budget. Retried kernels are idempotent by
+// construction — Output rewrites the same rows, Materialize deduplicates
+// through the store's first-writer-wins Write — so a retry re-runs only
+// this vertex, never its subtree. The returned extra latency (backoff
+// waits plus injected straggler delay) is simulated time for the node's
+// stats; it is deterministic because fault decisions are.
+func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, float64, error) {
+	policy := e.Retry.withDefaults()
+	site := st.sites[n]
+	var extra float64
+	for attempt := 0; ; attempt++ {
+		out, outBytes, cost, err := e.apply(n, in, inStats, st)
+		if err == nil && e.Faults != nil {
+			if ferr := e.Faults.VertexDone(st.job, site, n.Kind, attempt); ferr != nil {
+				err = fmt.Errorf("exec: vertex %s: %w", site, ferr)
+			}
+		}
+		if err == nil {
+			if e.Faults != nil {
+				extra += e.Faults.VertexDelay(st.job, site, n.Kind)
+			}
+			return out, outBytes, cost, extra, nil
+		}
+		if !Transient(err) {
+			return nil, 0, 0, 0, err
+		}
+		if attempt+1 >= policy.MaxAttempts {
+			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: attempts exhausted: %w", site, err)
+		}
+		if st.budget.Add(-1) < 0 {
+			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: job retry budget exhausted: %w", site, err)
+		}
+		wait := policy.Backoff(attempt)
+		extra += wait
+		st.noteRetry(wait)
+	}
 }
 
 // nodeStats assembles an operator's Stats, computing output rows exactly
@@ -290,7 +425,11 @@ func (e *Executor) applyExtract(n *plan.Node) (partitions, int64, float64, error
 }
 
 func (e *Executor) applyViewScan(n *plan.Node) (partitions, int64, float64, error) {
-	v, err := e.Store.Get(n.ViewPath)
+	// Consume (not Get): reading a view on behalf of a job verifies its
+	// checksum and consults the storage fault hook, so a corrupt or
+	// missing view surfaces here as a permanent storage error the job
+	// frontend turns into quarantine-and-replan.
+	v, err := e.Store.Consume(n.ViewPath)
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -394,6 +394,19 @@ func TestMaterializeAndViewScanEquivalence(t *testing.T) {
 	}
 }
 
+// crashKind is a FaultHook that permanently crashes every vertex of one
+// operator kind (the error carries no Transient marker).
+type crashKind struct{ kind plan.OpKind }
+
+func (c crashKind) VertexDone(_, _ string, k plan.OpKind, _ int) error {
+	if k == c.kind {
+		return errors.New("injected vertex failure")
+	}
+	return nil
+}
+
+func (c crashKind) VertexDelay(string, string, plan.OpKind) float64 { return 0 }
+
 func TestFailureInjectionAndEarlyMaterializationSurvives(t *testing.T) {
 	e := env(t)
 	base := plan.Scan("sales", "sales-v1", salesSchema()).
@@ -404,13 +417,10 @@ func TestFailureInjectionAndEarlyMaterializationSurvives(t *testing.T) {
 		Sort([]int{0}, nil).
 		Output("o")
 	// Fail right after the sort: the view was already written (early
-	// materialization acts as a checkpoint, paper §6.4 / §8).
-	e.FailAfter = func(n *plan.Node) error {
-		if n.Kind == plan.OpSort {
-			return errors.New("injected vertex failure")
-		}
-		return nil
-	}
+	// materialization acts as a checkpoint, paper §6.4 / §8). The crash is
+	// permanent — no Transient marker — so the retry loop does not save it.
+	e.Faults = crashKind{plan.OpSort}
+	defer func() { e.Faults = nil }()
 	if _, err := e.Run(p, "failing", 0); err == nil {
 		t.Fatal("expected injected failure")
 	}

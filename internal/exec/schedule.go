@@ -111,13 +111,14 @@ func (d *dagRun) exec(n *plan.Node) {
 	}
 	d.mu.Unlock()
 
-	out, outBytes, cost, err := d.e.apply(n, childParts, childStats, d.st)
+	out, outBytes, cost, extra, err := d.e.runVertex(n, childParts, childStats, d.st)
 
 	// Stats assembly (including any residual byte walk) happens outside
 	// the run lock; only the bookkeeping maps are guarded.
 	var ns *Stats
 	if err == nil {
 		ns = nodeStats(out, outBytes, cost, childLatency, childCumCost)
+		ns.Latency += extra
 	}
 
 	d.mu.Lock()

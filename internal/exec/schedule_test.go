@@ -13,14 +13,13 @@ import (
 	"cloudviews/internal/storage"
 )
 
-// serialRun executes the plan through the legacy depth-first walk by
-// installing a no-op FailAfter hook (the documented serial-fallback
-// trigger), giving tests a reference execution to diff the DAG scheduler
-// against.
+// serialRun executes the plan through the depth-first reference walk
+// (Executor.Serial), giving tests a reference execution to diff the DAG
+// scheduler against.
 func serialRun(t *testing.T, e *Executor, root *plan.Node, jobID string) *Result {
 	t.Helper()
-	e.FailAfter = func(*plan.Node) error { return nil }
-	defer func() { e.FailAfter = nil }()
+	e.Serial = true
+	defer func() { e.Serial = false }()
 	res, err := e.Run(root, jobID, 0)
 	if err != nil {
 		t.Fatal(err)

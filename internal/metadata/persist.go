@@ -10,68 +10,136 @@ import (
 
 // persist.go makes the service state durable. The production metadata
 // service is backed by AzureSQL, so annotations and view registrations
-// survive restarts; here the same durability comes from a JSON snapshot.
+// survive restarts; here the same durability comes from a JSON journal.
 // Build locks are deliberately NOT persisted: a restart behaves like lock
 // expiry — in-flight builders re-propose, and the fault-tolerance path of
 // §6.1 takes over.
+//
+// Format v2 is a line journal: a header line identifying the format,
+// followed by one JSON record per line (annotations, then views, then
+// offline-VC flags). The point of the line granularity is crash recovery —
+// a snapshot torn mid-write (truncated file, corrupted tail) restores to
+// the valid prefix instead of erroring the whole service, so the metadata
+// service always comes back up; at worst it forgets the most recently
+// journaled views, which consumers then rebuild. Files that are not
+// metadata snapshots at all (wrong format tag, unknown version, leading
+// garbage) still fail loudly — silently booting empty off a foreign file
+// would be data loss, not recovery.
 
-type snapshot struct {
-	Format      string
-	Version     int
-	Annotations []Annotation
-	Views       []ViewInfo
-	OfflineVCs  []string
+// header is the journal's first line. It embeds the legacy v1 payload
+// fields so an old single-object snapshot decodes through the same struct.
+type header struct {
+	Format  string
+	Version int
+
+	// v1 payload (whole-state single object); unused in v2 headers.
+	Annotations []Annotation `json:",omitempty"`
+	Views       []ViewInfo   `json:",omitempty"`
+	OfflineVCs  []string     `json:",omitempty"`
+}
+
+// record is one v2 journal line; exactly one field is set.
+type record struct {
+	Ann       *Annotation `json:",omitempty"`
+	View      *ViewInfo   `json:",omitempty"`
+	OfflineVC string      `json:",omitempty"`
 }
 
 const (
 	snapshotFormat  = "cloudviews-metadata"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
-// Save writes a snapshot of the service's durable state. Reading one
-// published state generation makes the snapshot internally consistent
+// Save writes a journal snapshot of the service's durable state. Reading
+// one published state generation makes the snapshot internally consistent
 // without blocking concurrent writers.
 func (s *Service) Save(w io.Writer) error {
 	st := s.cur.Load()
-	snap := snapshot{Format: snapshotFormat, Version: snapshotVersion}
+	var anns []Annotation
 	for _, a := range st.annotations {
-		snap.Annotations = append(snap.Annotations, *a)
+		anns = append(anns, *a)
 	}
+	var views []ViewInfo
 	for _, v := range st.views {
-		snap.Views = append(snap.Views, *v)
+		views = append(views, *v)
 	}
+	var vcs []string
 	for vc := range st.offlineVCs {
-		snap.OfflineVCs = append(snap.OfflineVCs, vc)
+		vcs = append(vcs, vc)
 	}
-	sort.Slice(snap.Annotations, func(i, j int) bool { return snap.Annotations[i].NormSig < snap.Annotations[j].NormSig })
-	sort.Slice(snap.Views, func(i, j int) bool { return snap.Views[i].PreciseSig < snap.Views[j].PreciseSig })
-	sort.Strings(snap.OfflineVCs)
+	sort.Slice(anns, func(i, j int) bool { return anns[i].NormSig < anns[j].NormSig })
+	sort.Slice(views, func(i, j int) bool { return views[i].PreciseSig < views[j].PreciseSig })
+	sort.Strings(vcs)
 
 	bw := bufio.NewWriter(w)
-	if err := json.NewEncoder(bw).Encode(&snap); err != nil {
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Format: snapshotFormat, Version: snapshotVersion}); err != nil {
 		return fmt.Errorf("metadata: save: %w", err)
+	}
+	for i := range anns {
+		if err := enc.Encode(record{Ann: &anns[i]}); err != nil {
+			return fmt.Errorf("metadata: save: %w", err)
+		}
+	}
+	for i := range views {
+		if err := enc.Encode(record{View: &views[i]}); err != nil {
+			return fmt.Errorf("metadata: save: %w", err)
+		}
+	}
+	for _, vc := range vcs {
+		if err := enc.Encode(record{OfflineVC: vc}); err != nil {
+			return fmt.Errorf("metadata: save: %w", err)
+		}
 	}
 	return bw.Flush()
 }
 
-// Restore loads a snapshot written by Save into a fresh service.
+// Restore loads a snapshot written by Save into a fresh service. A
+// malformed header (not a metadata snapshot, or an unknown version) is an
+// error; a torn record tail is not — the valid prefix is loaded and the
+// rest is dropped, which is how the service recovers from a crash mid-Save
+// or a truncated file.
 func Restore(r io.Reader) (*Service, error) {
-	var snap snapshot
-	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("metadata: restore: %w", err)
 	}
-	if snap.Format != snapshotFormat {
-		return nil, fmt.Errorf("metadata: not a metadata snapshot (format %q)", snap.Format)
+	if h.Format != snapshotFormat {
+		return nil, fmt.Errorf("metadata: not a metadata snapshot (format %q)", h.Format)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("metadata: unsupported snapshot version %d", snap.Version)
+	anns, views, vcs := h.Annotations, h.Views, h.OfflineVCs
+	switch h.Version {
+	case 1:
+		// Legacy single-object snapshot: the payload rode in the header.
+	case snapshotVersion:
+		for {
+			var rec record
+			if err := dec.Decode(&rec); err != nil {
+				// io.EOF is the clean end; anything else is a torn or
+				// corrupted tail — keep the valid prefix (recovery, not
+				// failure: better to forget the newest records than to
+				// refuse to start).
+				break
+			}
+			switch {
+			case rec.Ann != nil:
+				anns = append(anns, *rec.Ann)
+			case rec.View != nil:
+				views = append(views, *rec.View)
+			case rec.OfflineVC != "":
+				vcs = append(vcs, rec.OfflineVC)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("metadata: unsupported snapshot version %d", h.Version)
 	}
 	s := NewService()
-	s.LoadAnalysis(snap.Annotations)
-	for _, v := range snap.Views {
+	s.LoadAnalysis(anns)
+	for _, v := range views {
 		s.ReportMaterialized(v)
 	}
-	for _, vc := range snap.OfflineVCs {
+	for _, vc := range vcs {
 		s.SetOfflineVC(vc, true)
 	}
 	return s, nil

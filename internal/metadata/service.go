@@ -19,6 +19,7 @@
 package metadata
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,9 +92,20 @@ var emptyState = &state{
 	offlineVCs:  map[string]bool{},
 }
 
+// FaultHook is the metadata service's fault-injection seam (see
+// internal/fault): Lookup is consulted once per RelevantViews round trip
+// and a non-nil error simulates the service being unreachable.
+type FaultHook interface {
+	Lookup(vc string) error
+}
+
 // Service is the concurrent metadata store. The zero value is not usable;
 // call NewService.
 type Service struct {
+	// Faults, if set, can fail lookups served through TryRelevantViews.
+	// Production runs leave it nil.
+	Faults FaultHook
+
 	// mu serializes writers and guards the build-lock table. Read paths
 	// never acquire it.
 	mu    sync.Mutex
@@ -241,6 +253,20 @@ func (s *Service) RelevantViews(vc string, jobTags []string) []Annotation {
 		}
 	}
 	return out
+}
+
+// TryRelevantViews is RelevantViews behind the fault seam: it fails when
+// the (simulated) metadata service is unreachable instead of silently
+// returning nothing. The job frontend treats that failure as a degradation
+// signal — skip reuse for this job, count it, and run the original plan —
+// never as a job abort.
+func (s *Service) TryRelevantViews(vc string, jobTags []string) ([]Annotation, error) {
+	if s.Faults != nil {
+		if err := s.Faults.Lookup(vc); err != nil {
+			return nil, fmt.Errorf("metadata: relevant-views lookup for %s: %w", vc, err)
+		}
+	}
+	return s.RelevantViews(vc, jobTags), nil
 }
 
 // Annotation returns the annotation for a normalized signature, if any.

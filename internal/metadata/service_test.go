@@ -2,6 +2,7 @@ package metadata
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -299,5 +300,120 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 		if _, err := Restore(strings.NewReader(src)); err == nil {
 			t.Errorf("Restore(%q) should fail", src)
 		}
+	}
+}
+
+// populated returns a service with enough journaled state that truncation
+// points land inside the record stream.
+func populated(t *testing.T) *Service {
+	t.Helper()
+	s := NewService()
+	s.LoadAnalysis([]Annotation{ann("n1", "clicks"), ann("n2", "orders"), ann("n3", "events")})
+	for i, sig := range []string{"p1", "p2", "p3"} {
+		s.ReportMaterialized(ViewInfo{
+			PreciseSig: sig, NormSig: "n1", Path: "/v/" + sig,
+			Rows: int64(i + 1), ExpiresAt: 50,
+		})
+	}
+	s.SetOfflineVC("batch", true)
+	return s
+}
+
+// TestRestoreTruncatedJournal: a snapshot cut off at any byte past the
+// header restores the valid prefix instead of erroring — the service
+// always comes back up after a crash mid-Save.
+func TestRestoreTruncatedJournal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	headerLen := bytes.IndexByte(full, '\n') + 1
+	for cut := headerLen; cut <= len(full); cut += 7 {
+		r, err := Restore(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("truncation at %d/%d bytes errored: %v", cut, len(full), err)
+		}
+		a, v, locks, _, _ := r.Stats()
+		if a > 3 || v > 3 || locks != 0 {
+			t.Fatalf("truncation at %d restored impossible state: %d anns %d views", cut, a, v)
+		}
+	}
+	// The untruncated journal restores everything.
+	r, err := Restore(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, v, _, _, _ := r.Stats(); a != 3 || v != 3 {
+		t.Fatalf("full restore got %d anns %d views, want 3/3", a, v)
+	}
+}
+
+// TestRestoreCorruptedTail: garbage after valid records loses only the
+// records at and past the damage.
+func TestRestoreCorruptedTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	damaged := append([]byte(nil), buf.Bytes()...)
+	// Stomp the third line (first view record) with non-JSON bytes.
+	lines := bytes.SplitAfter(damaged, []byte("\n"))
+	corruptAt := 4 // header + 3 annotations
+	prefix := bytes.Join(lines[:corruptAt], nil)
+	damaged = append(prefix, []byte("##corrupt##\n")...)
+	damaged = append(damaged, bytes.Join(lines[corruptAt:], nil)...)
+
+	r, err := Restore(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("corrupted tail errored the restore: %v", err)
+	}
+	a, v, _, _, _ := r.Stats()
+	if a != 3 {
+		t.Errorf("annotations before the damage lost: %d", a)
+	}
+	if v != 0 {
+		t.Errorf("records past the damage should be dropped, got %d views", v)
+	}
+}
+
+// TestRestoreLegacyV1Snapshot: pre-journal single-object snapshots still
+// load (the payload rides in the header line).
+func TestRestoreLegacyV1Snapshot(t *testing.T) {
+	src := `{"Format":"cloudviews-metadata","Version":1,` +
+		`"Annotations":[{"NormSig":"n1","Tags":["clicks"]}],` +
+		`"Views":[{"PreciseSig":"p1","NormSig":"n1","Path":"/v/p1"}],` +
+		`"OfflineVCs":["batch"]}`
+	r, err := Restore(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.RelevantViews("batch", []string{"clicks"}); len(got) != 1 || !got[0].Offline {
+		t.Errorf("v1 payload lost: %v", got)
+	}
+	if _, ok := r.LookupView("p1"); !ok {
+		t.Error("v1 view registration lost")
+	}
+}
+
+// blackoutHook fails every lookup.
+type blackoutHook struct{}
+
+func (blackoutHook) Lookup(string) error { return errors.New("metadata unreachable") }
+
+// TestTryRelevantViewsFaultSeam: the fault hook fails TryRelevantViews
+// while leaving the plain RelevantViews read path untouched.
+func TestTryRelevantViewsFaultSeam(t *testing.T) {
+	s := NewService()
+	s.LoadAnalysis([]Annotation{ann("n1", "clicks")})
+	if got, err := s.TryRelevantViews("vc", []string{"clicks"}); err != nil || len(got) != 1 {
+		t.Fatalf("clean lookup = %v, %v", got, err)
+	}
+	s.Faults = blackoutHook{}
+	if _, err := s.TryRelevantViews("vc", []string{"clicks"}); err == nil {
+		t.Fatal("blackout not surfaced")
+	}
+	if got := s.RelevantViews("vc", []string{"clicks"}); len(got) != 1 {
+		t.Fatal("RelevantViews must stay fault-free")
 	}
 }

@@ -30,6 +30,14 @@ type Decision struct {
 	ViewsRejected []string
 	// EstimatedCost is the estimated cost of the final plan.
 	EstimatedCost float64
+	// MetaUnavailable records that the metadata lookup failed and the job
+	// gracefully degraded to no-reuse (the frontend skipped optimization
+	// rather than aborting — see core.Config.MetadataStrict).
+	MetaUnavailable bool
+	// QuarantinedViews lists paths of views that failed integrity or
+	// existence checks mid-execution and were quarantined, forcing the job
+	// to re-optimize without them.
+	QuarantinedViews []string
 }
 
 // Optimizer is the CloudViews-extended plan search. It consults the

@@ -6,7 +6,15 @@
 // (§5.4, §6.2). The storage manager purges expired views; the metadata
 // service must be cleaned first so in-flight jobs never read a dangling
 // path — Store enforces that ordering by keeping purged views readable by
-// open handles while removing them from lookup.
+// open handles while removing them from lookup, and by invoking the
+// Deregister callback for every storage-initiated reclamation before the
+// file goes away.
+//
+// Integrity: Write records a checksum of the encoded payload on the view;
+// Consume — the data-plane read used by executing jobs — verifies it and
+// reports a CorruptError on mismatch, so silent corruption (or an injected
+// fault, see internal/fault) is caught at consume time and the runtime can
+// quarantine the view instead of returning wrong rows.
 package storage
 
 import (
@@ -17,6 +25,39 @@ import (
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 )
+
+// FaultHook is the storage fault-injection surface (implemented by
+// *fault.Injector). A nil hook costs nothing.
+type FaultHook interface {
+	// ReadView is consulted by Consume; an error fails the read. Injected
+	// errors are transient — the executor's vertex retry re-reads.
+	ReadView(path string) error
+	// WriteView is consulted by Write for a view about to be created: err
+	// fails the write before anything is installed; corrupt=true lets the
+	// write proceed but silently damages the stored payload (detected
+	// later by checksum verification on consume).
+	WriteView(path string) (corrupt bool, err error)
+}
+
+// NotFoundError reports a read of a path the store does not hold — a
+// dangling metadata registration or a premature purge. It is permanent:
+// retrying the read cannot help, but the consuming job can be re-planned
+// without the view (graceful degradation).
+type NotFoundError struct{ Path string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: no view at %q", e.Path) }
+
+// CorruptError reports a checksum mismatch between a view's recorded
+// checksum and its stored payload. Like NotFoundError it is permanent for
+// this copy of the view; the runtime quarantines it and re-plans.
+type CorruptError struct {
+	Path       string
+	PreciseSig string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("storage: view %q failed integrity verification", e.Path)
+}
 
 // View is one materialized view: the output rows of a subgraph, laid out
 // with an explicit physical design.
@@ -35,6 +76,9 @@ type View struct {
 	Partitions [][]data.Row
 	Bytes      int64
 	Rows       int64
+	// Checksum is the content hash of Partitions recorded by Store.Write;
+	// Consume verifies the stored payload against it.
+	Checksum uint64
 }
 
 // PathFor builds the canonical physical path of a view, embedding the
@@ -44,11 +88,23 @@ func PathFor(preciseSig, jobID string) string {
 	return fmt.Sprintf("/views/%s/%s.ss", preciseSig, jobID)
 }
 
-// Store is a concurrent view store with signature lookup and expiry.
+// Store is a concurrent view store with signature lookup, expiry, and
+// consume-time integrity verification.
 type Store struct {
+	// Faults, if set, injects storage failures (reads, writes, silent
+	// corruption). Wired by fault-injection tests and chaos soaks.
+	Faults FaultHook
+	// Deregister, if set, is invoked for every view selected by Purge or
+	// ReclaimLowestUtility just before its file is removed, giving the
+	// owner the chance to drop the metadata registration first (the §5.4
+	// ordering). Without it, storage-initiated reclamation would leave the
+	// metadata service referencing deleted paths.
+	Deregister func(preciseSig, path string)
+
 	mu        sync.RWMutex
 	byPath    map[string]*View
 	byPrecise map[string]string // precise sig -> path
+	verified  map[string]bool   // paths whose checksum already verified
 	bytes     int64
 }
 
@@ -57,7 +113,40 @@ func NewStore() *Store {
 	return &Store{
 		byPath:    map[string]*View{},
 		byPrecise: map[string]string{},
+		verified:  map[string]bool{},
 	}
+}
+
+// checksumPartitions folds every row's content hash with its partition
+// index. Ordering within and across partitions matters: the physical
+// layout is part of what Write sealed, so a reordered or truncated payload
+// must verify differently.
+func checksumPartitions(parts [][]data.Row) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i, p := range parts {
+		h = h*prime64 ^ uint64(i+1)
+		for _, r := range p {
+			h = h*prime64 ^ r.Hash64()
+		}
+	}
+	return h
+}
+
+// corruptCopy returns a damaged copy of parts: the last row of the first
+// non-empty partition is dropped. Only the outer slice headers are fresh —
+// the rows themselves are never touched, since they may alias live job
+// state (the engine's row-immutability contract).
+func corruptCopy(parts [][]data.Row) [][]data.Row {
+	out := make([][]data.Row, len(parts))
+	copy(out, parts)
+	for i, p := range out {
+		if len(p) > 0 {
+			out[i] = p[:len(p)-1:len(p)-1]
+			break
+		}
+	}
+	return out
 }
 
 // Write installs a view and reports whether this call created it. A second
@@ -68,6 +157,11 @@ func NewStore() *Store {
 // the losing write is discarded and Write returns created=false. Reusing a
 // path is still rejected: paths embed the producing job ID, so a collision
 // means one job wrote the same view twice.
+//
+// Write records the payload checksum on the view. An injected write fault
+// fails the call before anything is installed (safe to retry); an injected
+// corruption stores a damaged payload under the clean checksum, modeling
+// silent data loss that only consume-time verification can catch.
 func (s *Store) Write(v *View) (created bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -77,6 +171,14 @@ func (s *Store) Write(v *View) (created bool, err error) {
 	if _, ok := s.byPrecise[v.PreciseSig]; ok {
 		return false, nil
 	}
+	corrupt := false
+	if s.Faults != nil {
+		var ferr error
+		corrupt, ferr = s.Faults.WriteView(v.Path)
+		if ferr != nil {
+			return false, fmt.Errorf("storage: write %q: %w", v.Path, ferr)
+		}
+	}
 	var rows, bytes int64
 	for _, p := range v.Partitions {
 		rows += int64(len(p))
@@ -84,21 +186,67 @@ func (s *Store) Write(v *View) (created bool, err error) {
 			bytes += r.ByteSize()
 		}
 	}
+	// Rows, bytes, and the checksum describe the payload the producer
+	// sealed; an injected corruption swaps in a damaged payload underneath
+	// them, so consume-time verification detects the mismatch.
 	v.Rows, v.Bytes = rows, bytes
+	v.Checksum = checksumPartitions(v.Partitions)
+	if corrupt {
+		v.Partitions = corruptCopy(v.Partitions)
+	}
 	s.byPath[v.Path] = v
 	s.byPrecise[v.PreciseSig] = v.Path
 	s.bytes += bytes
 	return true, nil
 }
 
-// Get returns the view at path.
+// Get returns the view at path without integrity verification — the raw
+// metadata-level accessor used by maintenance and tests. Executing jobs
+// read views through Consume.
 func (s *Store) Get(path string) (*View, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.byPath[path]
 	if !ok {
-		return nil, fmt.Errorf("storage: no view at %q", path)
+		return nil, &NotFoundError{Path: path}
 	}
+	return v, nil
+}
+
+// Consume returns the view at path for a consuming job: injected read
+// faults surface first (transient — the vertex retry re-reads), then the
+// stored payload is verified against the checksum recorded at Write. A
+// mismatch is a CorruptError; the caller is expected to quarantine the
+// view and re-plan without it. Successful verification is cached — views
+// are immutable once written, so one payload walk amortizes across every
+// recurring consumer.
+func (s *Store) Consume(path string) (*View, error) {
+	if s.Faults != nil {
+		if err := s.Faults.ReadView(path); err != nil {
+			return nil, fmt.Errorf("storage: read %q: %w", path, err)
+		}
+	}
+	s.mu.RLock()
+	v, ok := s.byPath[path]
+	verified := ok && s.verified[path]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{Path: path}
+	}
+	if verified {
+		return v, nil
+	}
+	// Verify outside the lock: the payload is immutable and the walk is
+	// O(rows). Concurrent first consumers may both verify; both cache the
+	// same answer.
+	if checksumPartitions(v.Partitions) != v.Checksum {
+		return nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
+	}
+	s.mu.Lock()
+	if cur, ok := s.byPath[path]; ok && cur == v {
+		s.verified[path] = true
+	}
+	s.mu.Unlock()
 	return v, nil
 }
 
@@ -117,31 +265,55 @@ func (s *Store) LookupPrecise(sig string) *View {
 func (s *Store) Delete(path string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.deleteLocked(path)
+}
+
+func (s *Store) deleteLocked(path string) {
 	v, ok := s.byPath[path]
 	if !ok {
 		return
 	}
 	delete(s.byPath, path)
 	delete(s.byPrecise, v.PreciseSig)
+	delete(s.verified, path)
 	s.bytes -= v.Bytes
 }
 
+// reap deregisters (metadata first, per §5.4) and deletes the selected
+// views, in path order. victims maps path -> precise signature.
+func (s *Store) reap(victims map[string]string) []string {
+	if len(victims) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(victims))
+	for p := range victims {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if s.Deregister != nil {
+			s.Deregister(victims[p], p)
+		}
+		s.Delete(p)
+	}
+	return paths
+}
+
 // Purge removes every view whose expiry is at or before now and returns
-// the purged paths.
+// the purged paths. Each victim's metadata registration is dropped (via
+// the Deregister callback) before its file, so a consumer that raced the
+// purge sees at worst a missing view — never a registered-but-deleted one
+// surviving the purge.
 func (s *Store) Purge(now int64) []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var purged []string
+	victims := map[string]string{}
 	for path, v := range s.byPath {
 		if v.ExpiresAt <= now {
-			delete(s.byPath, path)
-			delete(s.byPrecise, v.PreciseSig)
-			s.bytes -= v.Bytes
-			purged = append(purged, path)
+			victims[path] = v.PreciseSig
 		}
 	}
-	sort.Strings(purged)
-	return purged
+	s.mu.Unlock()
+	return s.reap(victims)
 }
 
 // TotalBytes returns the bytes currently held by all views.
@@ -173,10 +345,10 @@ func (s *Store) Views() []*View {
 // ReclaimLowestUtility removes views in ascending order of the utility
 // score provided by rank until at least wantBytes have been reclaimed.
 // This is the admin "reclaim storage by min-utility" operation of §5.4.
-// It returns the purged paths.
+// Victims are deregistered from metadata (Deregister callback) before
+// their files are deleted. It returns the purged paths.
 func (s *Store) ReclaimLowestUtility(wantBytes int64, rank func(*View) float64) []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	type scored struct {
 		v     *View
 		score float64
@@ -185,23 +357,21 @@ func (s *Store) ReclaimLowestUtility(wantBytes int64, rank func(*View) float64) 
 	for _, v := range s.byPath {
 		all = append(all, scored{v, rank(v)})
 	}
+	s.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].score != all[j].score {
 			return all[i].score < all[j].score
 		}
 		return all[i].v.Path < all[j].v.Path
 	})
-	var purged []string
+	victims := map[string]string{}
 	var freed int64
 	for _, sc := range all {
 		if freed >= wantBytes {
 			break
 		}
-		delete(s.byPath, sc.v.Path)
-		delete(s.byPrecise, sc.v.PreciseSig)
-		s.bytes -= sc.v.Bytes
+		victims[sc.v.Path] = sc.v.PreciseSig
 		freed += sc.v.Bytes
-		purged = append(purged, sc.v.Path)
 	}
-	return purged
+	return s.reap(victims)
 }

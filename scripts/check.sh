@@ -11,9 +11,14 @@ go test ./...
 go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
 # Parallel data-plane kernels under the race detector, by name: the
 # partition-parallel join/agg/exchange/sort paths and the skewed-partition
-# stress that diffs them against the serial FailAfter-path reference.
+# stress that diffs them against the serial reference walk.
 go test -race -run='TestSkewStress|TestParallelScheduler|TestViewScanConcurrent|TestExecutionDeterminism|TestMergeJoinMatchesHashJoin' \
 	-count=1 ./internal/exec/
+# Chaos soak under the race detector, bounded rounds: concurrent jobs
+# through a seeded fault schedule (vertex crashes, storage faults, view
+# corruption, metadata blackouts) with per-job output validation. The
+# CHAOS_ROUNDS knob scales it; `make chaos` runs the long version.
+CHAOS_ROUNDS="${CHAOS_ROUNDS:-2}" go test -race -run='TestChaosSoak' -count=1 ./internal/core/
 # Exec kernel benchmark smoke: one iteration of every data-plane benchmark
 # exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
 go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
