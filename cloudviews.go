@@ -30,6 +30,7 @@ import (
 	"cloudviews/internal/plan"
 	"cloudviews/internal/script"
 	"cloudviews/internal/signature"
+	"cloudviews/internal/storage"
 	"cloudviews/internal/tpcds"
 	"cloudviews/internal/workgen"
 	"cloudviews/internal/workload"
@@ -154,6 +155,15 @@ type (
 	FaultConfig   = fault.Config
 	FaultInjector = fault.Injector
 	RecoveryStats = core.RecoveryStats
+)
+
+// StorageStats is the storage byte gauges returned by
+// Service.StorageStats: resident encoded view bytes plus the decoded
+// hot-view cache's entries, bytes, and hit/miss/eviction counters
+// (CacheStats).
+type (
+	StorageStats = core.StorageStats
+	CacheStats   = storage.CacheStats
 )
 
 // NewFaultInjector builds an injector from a seeded fault schedule.

@@ -86,6 +86,14 @@ func TestChaosSoak(t *testing.T) {
 					t.Fatalf("round %d: metadata references missing file %s", round, mv.Path)
 				}
 			}
+			// Cache↔store consistency: a quarantined (deleted) view must
+			// be dropped from the hot cache with its file — every cached
+			// path still resolves.
+			for _, p := range s.Store.CachedPaths() {
+				if _, err := s.Store.Get(p); err != nil {
+					t.Fatalf("round %d: hot cache holds dropped view %s", round, p)
+				}
+			}
 		}
 
 		// Faults off: the service must be fully live again.

@@ -79,7 +79,14 @@ func (s *Service) ReclaimStorage(wantBytes int64) []string {
 	}
 	var all []scored
 	for _, v := range s.Meta.Views() {
-		sc := scored{preciseSig: v.PreciseSig, path: v.Path, bytes: v.Bytes}
+		// Reclamation frees at-rest bytes, so account the encoded payload
+		// size; fall back to the logical size for records journaled before
+		// encoding existed.
+		bytes := v.EncodedBytes
+		if bytes == 0 {
+			bytes = v.Bytes
+		}
+		sc := scored{preciseSig: v.PreciseSig, path: v.Path, bytes: bytes}
 		if ann, ok := s.Meta.Annotation(v.NormSig); ok {
 			sc.utility = ann.Utility
 		} else {

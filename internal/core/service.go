@@ -56,6 +56,10 @@ type Config struct {
 	// RelevantViews round trip fails simply runs its original plan — reuse
 	// is an optimization, never a dependency.
 	MetadataStrict bool
+	// CacheBytes sizes the storage hot-view cache (decoded partitions
+	// served zero-copy to repeat consumers). Zero keeps the store's
+	// default budget; negative disables the cache.
+	CacheBytes int64
 }
 
 // JobSpec is one job submission.
@@ -132,6 +136,29 @@ func (s *Service) Recovery() RecoveryStats {
 	}
 }
 
+// StorageStats snapshots the storage layer's byte gauges: how many
+// encoded view bytes are resident at rest, and what the decoded hot-view
+// cache currently holds and has served.
+type StorageStats struct {
+	// ResidentEncodedBytes is the at-rest footprint of all stored views
+	// (columnar payloads, not row representations).
+	ResidentEncodedBytes int64
+	// Views is the number of stored views.
+	Views int
+	// Cache reports the decoded hot-view cache: resident entries/bytes
+	// plus hit/miss/eviction counters.
+	Cache storage.CacheStats
+}
+
+// StorageStats returns the service's storage byte gauges.
+func (s *Service) StorageStats() StorageStats {
+	return StorageStats{
+		ResidentEncodedBytes: s.Store.TotalBytes(),
+		Views:                s.Store.Len(),
+		Cache:                s.Store.CacheStats(),
+	}
+}
+
 // InstallFaults wires one fault injector into every layer of the service:
 // executor vertices, the view store, metadata lookups, and (when a
 // scheduler is attached) cluster admission. Passing nil removes the hooks.
@@ -165,6 +192,9 @@ func NewService(cat *catalog.Catalog, cfg Config) *Service {
 	// away, or metadata would briefly advertise views that no longer
 	// exist (the §5.4 ordering, enforced from the storage side too).
 	st.Deregister = func(preciseSig, _ string) { meta.Unregister(preciseSig) }
+	if cfg.CacheBytes != 0 {
+		st.SetCacheBudget(cfg.CacheBytes)
+	}
 	s := &Service{
 		Catalog: cat,
 		Store:   st,
@@ -432,8 +462,12 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 			Path:          v.Path,
 			Schema:        v.Schema,
 			Props:         v.Props,
-			Rows:          v.Rows,
-			Bytes:         v.Bytes,
+			Rows: v.Rows,
+			// Bytes is the logical (row-representation) size the cost model
+			// prices a view scan on; EncodedBytes is the smaller at-rest
+			// columnar footprint storage actually holds.
+			Bytes:         v.LogicalBytes,
+			EncodedBytes:  v.Bytes,
 			ProducerJobID: spec.Meta.JobID,
 			ExpiresAt:     v.ExpiresAt,
 		}

@@ -1,0 +1,79 @@
+package colenc
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// benchPartition builds a view-shaped partition: a sorted int key, a date
+// column with long runs, a low-cardinality dimension string, a float
+// measure, a bool flag — the column mix materialized views carry.
+func benchPartition(rows int) []data.Row {
+	words := []string{"store", "web", "catalog", "outlet", "kiosk", "phone", "mail", "partner"}
+	out := make([]data.Row, rows)
+	for i := range out {
+		out[i] = data.Row{
+			data.Int(int64(1_000_000 + i*3)),
+			data.Date(int64(17000 + i/32)),
+			data.String_(words[i%len(words)]),
+			data.Float(float64(i%977) + 0.25),
+			data.Bool(i%3 == 0),
+		}
+	}
+	return out
+}
+
+func rowBytes(rows []data.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += r.ByteSize()
+	}
+	return n
+}
+
+// BenchmarkColencEncode reports encode throughput in MB/s of the *row*
+// representation consumed, plus the at-rest compression as
+// row-bytes-per-encoded-byte ("ratio" — higher is better; 1.0 is the old
+// boxed-row footprint).
+func BenchmarkColencEncode(b *testing.B) {
+	for _, rows := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			part := benchPartition(rows)
+			logical := rowBytes(part)
+			enc, err := Encode(part)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(logical)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Encode(part); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(logical)/float64(len(enc)), "ratio")
+		})
+	}
+}
+
+func BenchmarkColencDecode(b *testing.B) {
+	for _, rows := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			part := benchPartition(rows)
+			logical := rowBytes(part)
+			enc, err := Encode(part)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(logical)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

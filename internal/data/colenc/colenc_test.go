@@ -1,0 +1,166 @@
+package colenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// valuesIdentical compares two values bit-exactly: same kind, same payload
+// bits (so NaN equals NaN and -0.0 stays distinct from 0.0 — the codec
+// must preserve rendering, not just Compare order).
+func valuesIdentical(a, b data.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case data.KindFloat:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case data.KindString:
+		return a.S == b.S
+	default:
+		return a.I == b.I
+	}
+}
+
+func assertRoundTrip(t *testing.T, rows []data.Row) []byte {
+	t.Helper()
+	enc, err := Encode(rows)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(dec), len(rows))
+	}
+	for i := range rows {
+		if len(dec[i]) != len(rows[i]) {
+			t.Fatalf("row %d: arity %d, want %d", i, len(dec[i]), len(rows[i]))
+		}
+		for c := range rows[i] {
+			if !valuesIdentical(dec[i][c], rows[i][c]) {
+				t.Fatalf("row %d col %d: %#v != %#v", i, c, dec[i][c], rows[i][c])
+			}
+		}
+	}
+	// Determinism: re-encoding the decoded rows is byte-identical, which
+	// is what lets the storage checksum live over encoded bytes.
+	re, err := Encode(dec)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(enc), len(re))
+	}
+	return enc
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	rows := []data.Row{
+		{data.Int(0), data.Float(1.5), data.String_("alpha"), data.Bool(true), data.Date(17000), data.Null()},
+		{data.Int(-7), data.Float(-0.0), data.String_(""), data.Bool(false), data.Date(-1), data.Null()},
+		{data.Int(math.MaxInt64), data.Float(math.NaN()), data.String_("alpha"), data.Null(), data.Date(math.MinInt64), data.Null()},
+		{data.Int(math.MinInt64), data.Float(math.Inf(-1)), data.Null(), data.Bool(true), data.Date(0), data.Null()},
+		{data.Null(), data.Null(), data.String_("β — utf8\x00bytes"), data.Bool(false), data.Date(math.MaxInt64), data.Null()},
+	}
+	assertRoundTrip(t, rows)
+}
+
+func TestRoundTripEmptyAndSingle(t *testing.T) {
+	assertRoundTrip(t, nil)
+	assertRoundTrip(t, []data.Row{})
+	assertRoundTrip(t, []data.Row{{}})
+	assertRoundTrip(t, []data.Row{{data.Int(42)}})
+	// Zero-arity rows.
+	assertRoundTrip(t, []data.Row{{}, {}, {}})
+}
+
+func TestRoundTripMixedKindColumn(t *testing.T) {
+	rows := []data.Row{
+		{data.Int(1)},
+		{data.String_("two")},
+		{data.Float(3.0)},
+		{data.Bool(true)},
+		{data.Date(5)},
+		{data.Null()},
+	}
+	assertRoundTrip(t, rows)
+}
+
+func TestDictionaryCompression(t *testing.T) {
+	// Heavy duplication must collapse: 1000 rows over 4 distinct strings.
+	rows := make([]data.Row, 1000)
+	words := []string{"january", "february", "march", "april"}
+	for i := range rows {
+		rows[i] = data.Row{data.String_(words[i%len(words)])}
+	}
+	enc := assertRoundTrip(t, rows)
+	var raw int
+	for _, r := range rows {
+		raw += len(r[0].S)
+	}
+	if len(enc) >= raw/4 {
+		t.Errorf("dictionary encoding: %d bytes for %d raw string bytes", len(enc), raw)
+	}
+	// Decoded duplicates share one string header with the dictionary.
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0][0].S != dec[4][0].S {
+		t.Fatal("duplicate strings decoded to different values")
+	}
+}
+
+func TestDeltaCompression(t *testing.T) {
+	// Sorted int runs (the common view layout) encode near one byte/value.
+	rows := make([]data.Row, 4096)
+	for i := range rows {
+		rows[i] = data.Row{data.Int(int64(1_000_000 + i)), data.Date(int64(17000 + i/16))}
+	}
+	enc := assertRoundTrip(t, rows)
+	if len(enc) > len(rows)*4 {
+		t.Errorf("delta encoding too large: %d bytes for %d rows", len(enc), len(rows))
+	}
+}
+
+func TestEncodeRejectsRagged(t *testing.T) {
+	_, err := Encode([]data.Row{{data.Int(1)}, {data.Int(1), data.Int(2)}})
+	if err == nil {
+		t.Fatal("ragged partition accepted")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	rows := make([]data.Row, 64)
+	for i := range rows {
+		rows[i] = data.Row{data.Int(int64(i * 3)), data.String_("s"), data.Float(float64(i))}
+	}
+	enc, err := Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := Decode(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Decode([]byte{0x00, 0x01}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Trailing garbage is damage too.
+	if _, err := Decode(append(append([]byte{}, enc...), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// An implausible header must fail cleanly, not allocate wildly.
+	huge := []byte{magic, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x02}
+	if _, err := Decode(huge); err == nil {
+		t.Error("implausible shape accepted")
+	}
+}

@@ -176,17 +176,17 @@ func TestRangeDesignedView(t *testing.T) {
 	if _, err := e.Run(mat, "b", 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := e.Store.Get(path)
+	v, parts, err := e.Store.Consume(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Partitions) != 3 {
-		t.Fatalf("partitions = %d", len(v.Partitions))
+	if v.PartitionCount() != 3 || len(parts) != 3 {
+		t.Fatalf("partitions = %d", len(parts))
 	}
 	// Ranges are disjoint and ascending across partitions.
 	var last data.Value
 	started := false
-	for _, part := range v.Partitions {
+	for _, part := range parts {
 		for _, r := range part {
 			if started && data.Compare(last, r[0]) > 0 {
 				t.Fatal("range view not globally ordered")

@@ -429,23 +429,24 @@ func (e *Executor) applyViewScan(n *plan.Node) (partitions, int64, float64, erro
 	// checksum and consults the storage fault hook, so a corrupt or
 	// missing view surfaces here as a permanent storage error the job
 	// frontend turns into quarantine-and-replan.
-	v, err := e.Store.Consume(n.ViewPath)
+	v, parts, err := e.Store.Consume(n.ViewPath)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	// The copy here is shallow on purpose: only the outer partition slice
-	// is duplicated, the row slices (and rows) alias the stored view. That
-	// is safe because the engine treats rows as immutable — operators that
-	// reorder or extend rows (sort, exchange, project, process) always
-	// work on freshly flattened slices or newly allocated rows, never in
-	// place on their input. Concurrent consumers of one view therefore
-	// share its partitions without copies; TestViewScanConcurrentConsumers
-	// enforces the no-mutation contract. v.Rows/v.Bytes were tallied by
-	// Store.Write with the same per-row walk, so they stand in for a
-	// recount here.
-	out := make(partitions, len(v.Partitions))
-	copy(out, v.Partitions)
-	return out, v.Bytes, OperatorCost(n.Kind, 0, v.Rows, v.Bytes), nil
+	// is duplicated, the row slices (and rows) alias the decoded view —
+	// which the store's hot cache may be sharing with other consumers.
+	// That is safe because the engine treats rows as immutable — operators
+	// that reorder or extend rows (sort, exchange, project, process)
+	// always work on freshly flattened slices or newly allocated rows,
+	// never in place on their input. Concurrent consumers of one view
+	// therefore share one decode without copies;
+	// TestViewScanConcurrentConsumers enforces the no-mutation contract.
+	// Stats and cost price the logical (row-representation) size the scan
+	// materializes, not the smaller at-rest encoded footprint.
+	out := make(partitions, len(parts))
+	copy(out, parts)
+	return out, v.LogicalBytes, OperatorCost(n.Kind, 0, v.Rows, v.LogicalBytes), nil
 }
 
 // forEachPartition runs fn over every input partition, fanning out
@@ -671,16 +672,19 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, inStats *Stats,
 		ExpiresAt:     1<<62 - 1, // runtime sets real expiry from the analyzer
 		Schema:        n.Schema(),
 		Props:         n.MatProps,
-		Partitions:    viewParts,
 	}
-	created, err := e.Store.Write(v)
+	// Write encodes viewParts into the view's columnar at-rest payload
+	// (partition-parallel) and records the payload checksum.
+	created, err := e.Store.Write(v, viewParts)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
 	}
 	if !created {
-		// Lost the first-writer-wins race to another builder (this job's
-		// build lock expired and both finished): the winner's copy is
-		// byte-identical, so drop ours and let the winner publish.
+		// Either lost the first-writer-wins race to another builder (this
+		// job's build lock expired and both finished — the winner's copy
+		// is byte-identical, so drop ours and let the winner publish), or
+		// this is our own vertex retry after a crash that landed past the
+		// write — the first attempt already published.
 		return in, inStats.Bytes, cost, nil
 	}
 	if e.OnViewMaterialized != nil {

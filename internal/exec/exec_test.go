@@ -358,15 +358,15 @@ func TestMaterializeAndViewScanEquivalence(t *testing.T) {
 	if len(resB.MaterializedPaths) != 1 {
 		t.Errorf("MaterializedPaths = %v", resB.MaterializedPaths)
 	}
-	// Physical design enforced.
-	v, err := e.Store.Get(path)
+	// Physical design enforced (decode the at-rest payload to check).
+	v, parts, err := e.Store.Consume(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Partitions) != 3 {
-		t.Errorf("view has %d partitions, want 3", len(v.Partitions))
+	if v.PartitionCount() != 3 || len(parts) != 3 {
+		t.Errorf("view has %d partitions, want 3", len(parts))
 	}
-	for _, part := range v.Partitions {
+	for _, part := range parts {
 		for i := 1; i < len(part); i++ {
 			if data.Compare(part[i-1][0], part[i][0]) > 0 {
 				t.Error("view partition not sorted per design")

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -136,17 +137,24 @@ func TestViewScanConcurrentConsumers(t *testing.T) {
 	if _, err := e.Run(mat, "builder", 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := e.Store.Get(path)
+	v, decoded, err := e.Store.Consume(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Deep snapshot of the stored view, values included.
-	snapshot := make([][]data.Row, len(v.Partitions))
-	for i, part := range v.Partitions {
+	// Deep snapshot of the decoded view, values included — the hot cache
+	// serves this exact decode to every consumer below, so any in-place
+	// mutation by an operator would diverge from it. Also snapshot the
+	// at-rest payload bytes.
+	snapshot := make([][]data.Row, len(decoded))
+	for i, part := range decoded {
 		snapshot[i] = make([]data.Row, len(part))
 		for j, row := range part {
 			snapshot[i][j] = append(data.Row{}, row...)
 		}
+	}
+	encSnapshot := make([][]byte, len(v.Encoded))
+	for i, b := range v.Encoded {
+		encSnapshot[i] = append([]byte(nil), b...)
 	}
 
 	// Consumers that reorder, drop, extend, and aggregate the view's rows —
@@ -200,15 +208,24 @@ func TestViewScanConcurrentConsumers(t *testing.T) {
 		}
 	}
 
-	// The stored view must be byte-identical to the pre-consumer snapshot.
-	v2, err := e.Store.Get(path)
+	// The stored view must be byte-identical to the pre-consumer snapshot:
+	// both the at-rest encoded payload and the shared decode it serves.
+	v2, decoded2, err := e.Store.Consume(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v2.Partitions) != len(snapshot) {
-		t.Fatalf("view partition count changed: %d vs %d", len(v2.Partitions), len(snapshot))
+	if len(v2.Encoded) != len(encSnapshot) {
+		t.Fatalf("view partition count changed: %d vs %d", len(v2.Encoded), len(encSnapshot))
 	}
-	for i, part := range v2.Partitions {
+	for i, b := range v2.Encoded {
+		if !bytes.Equal(b, encSnapshot[i]) {
+			t.Fatalf("encoded partition %d changed", i)
+		}
+	}
+	if len(decoded2) != len(snapshot) {
+		t.Fatalf("decoded partition count changed: %d vs %d", len(decoded2), len(snapshot))
+	}
+	for i, part := range decoded2 {
 		if len(part) != len(snapshot[i]) {
 			t.Fatalf("view partition %d length changed: %d vs %d", i, len(part), len(snapshot[i]))
 		}

@@ -21,8 +21,9 @@
 // Injected failures are transient: they implement Transient() true, which
 // tells the executor's vertex-retry loop that re-running the work can
 // succeed. Corruption is deliberately not an error at injection time — it
-// is silent, and surfaces later as a storage.CorruptError when a consumer
-// verifies the view's checksum.
+// is silent (a bit flip in the view's encoded payload bytes), and surfaces
+// later as a storage.CorruptError when a consumer verifies the view's
+// checksum over those bytes.
 package fault
 
 import (
@@ -45,7 +46,9 @@ const (
 	KindStorageRead
 	// KindStorageWrite fails a view write before anything is installed.
 	KindStorageWrite
-	// KindCorruptWrite silently corrupts a view's stored payload.
+	// KindCorruptWrite silently corrupts a view's stored payload — the
+	// store flips a bit in the encoded columnar bytes underneath the
+	// recorded checksum.
 	KindCorruptWrite
 	// KindMetaBlackout fails a metadata-service lookup.
 	KindMetaBlackout

@@ -61,10 +61,16 @@ type ViewInfo struct {
 	PreciseSig    string
 	NormSig       string
 	Path          string
-	Schema        data.Schema
-	Props         plan.PhysicalProps
-	Rows          int64
-	Bytes         int64
+	Schema data.Schema
+	Props  plan.PhysicalProps
+	Rows   int64
+	// Bytes is the view's logical (row-representation) size — what a
+	// consumer materializes when scanning it, and what the optimizer's
+	// reuse cost model prices.
+	Bytes int64
+	// EncodedBytes is the at-rest columnar payload size actually held by
+	// storage (zero on records journaled before encoding existed).
+	EncodedBytes  int64
 	ProducerJobID string
 	ExpiresAt     int64
 }

@@ -76,7 +76,7 @@ func TestDistributedOptimizersOverHTTP(t *testing.T) {
 	client := metadata.NewClient(srv.URL)
 	client.ReportMaterialized(metadata.ViewInfo{
 		PreciseSig: v.PreciseSig, NormSig: v.NormSig, Path: v.Path,
-		Schema: v.Schema, Rows: v.Rows, Bytes: v.Bytes, ExpiresAt: 100,
+		Schema: v.Schema, Rows: v.Rows, Bytes: v.LogicalBytes, EncodedBytes: v.Bytes, ExpiresAt: 100,
 	})
 
 	// Machine B's next optimization sees and uses the view, with actual

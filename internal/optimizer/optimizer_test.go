@@ -129,7 +129,7 @@ func TestFirstJobBuildsSecondJobReuses(t *testing.T) {
 	}
 	env.meta.ReportMaterialized(metadata.ViewInfo{
 		PreciseSig: v.PreciseSig, NormSig: v.NormSig, Path: v.Path,
-		Schema: v.Schema, Props: v.Props, Rows: v.Rows, Bytes: v.Bytes,
+		Schema: v.Schema, Props: v.Props, Rows: v.Rows, Bytes: v.LogicalBytes, EncodedBytes: v.Bytes,
 		ProducerJobID: "job1", ExpiresAt: 100,
 	})
 
@@ -169,7 +169,7 @@ func TestNewInstanceDoesNotMatchOldView(t *testing.T) {
 	v, _ := env.st.Get(d1.ViewsBuilt[0].Path)
 	env.meta.ReportMaterialized(metadata.ViewInfo{
 		PreciseSig: v.PreciseSig, NormSig: v.NormSig, Path: v.Path,
-		Rows: v.Rows, Bytes: v.Bytes, ExpiresAt: 100,
+		Rows: v.Rows, Bytes: v.LogicalBytes, EncodedBytes: v.Bytes, ExpiresAt: 100,
 	})
 
 	// Next recurring instance: new data delivered.
@@ -308,8 +308,8 @@ func TestMaterializeEnforcesAnnotatedPhysicalDesign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Partitions) != 4 || v.Props.Part.Kind != plan.PartHash {
-		t.Errorf("view design not enforced: %d partitions, %v", len(v.Partitions), v.Props.Part.Kind)
+	if v.PartitionCount() != 4 || v.Props.Part.Kind != plan.PartHash {
+		t.Errorf("view design not enforced: %d partitions, %v", v.PartitionCount(), v.Props.Part.Kind)
 	}
 }
 
@@ -440,7 +440,7 @@ func TestOptimizeIdempotent(t *testing.T) {
 	v, _ := env.st.Get(storageLookup(env, t))
 	env.meta.ReportMaterialized(metadata.ViewInfo{
 		PreciseSig: v.PreciseSig, NormSig: v.NormSig, Path: v.Path,
-		Rows: v.Rows, Bytes: v.Bytes, ExpiresAt: 100,
+		Rows: v.Rows, Bytes: v.LogicalBytes, EncodedBytes: v.Bytes, ExpiresAt: 100,
 	})
 	p2, d2 := env.opt.Optimize(pipeline("g1").Output("o"), "job2", anns, 1)
 	if len(d2.ViewsUsed) != 1 {

@@ -10,19 +10,31 @@
 // Deregister callback for every storage-initiated reclamation before the
 // file goes away.
 //
+// At rest a view is *encoded*: each partition is one columnar byte block
+// (internal/data/colenc — typed vectors, dictionaries, null bitmaps), so
+// the resident footprint is the compressed payload, not boxed rows.
+// Write encodes partitions in parallel; Consume — the data-plane read used
+// by executing jobs — verifies the payload checksum, decodes in parallel,
+// and serves repeat consumers out of a sharded, byte-budgeted hot-view
+// cache of decoded partitions (zero-copy under the engine's read-only
+// aliasing contract). Metadata-level accessors (Get, Views, LookupPrecise)
+// never decode: listing, ranking, and reclaim work off headers alone.
+//
 // Integrity: Write records a checksum of the encoded payload on the view;
-// Consume — the data-plane read used by executing jobs — verifies it and
-// reports a CorruptError on mismatch, so silent corruption (or an injected
-// fault, see internal/fault) is caught at consume time and the runtime can
-// quarantine the view instead of returning wrong rows.
+// Consume verifies it and reports a CorruptError on mismatch, so silent
+// corruption (or an injected fault, see internal/fault — a bit flip in the
+// encoded bytes) is caught at consume time and the runtime can quarantine
+// the view instead of returning wrong rows.
 package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"cloudviews/internal/data"
+	"cloudviews/internal/data/colenc"
 	"cloudviews/internal/plan"
 )
 
@@ -60,7 +72,7 @@ func (e *CorruptError) Error() string {
 }
 
 // View is one materialized view: the output rows of a subgraph, laid out
-// with an explicit physical design.
+// with an explicit physical design and stored as encoded columnar blocks.
 type View struct {
 	Path          string
 	PreciseSig    string
@@ -72,14 +84,28 @@ type View struct {
 	CreatedAt int64
 	Schema    data.Schema
 	Props     plan.PhysicalProps
-	// Partitions hold the rows in the view's physical design.
-	Partitions [][]data.Row
-	Bytes      int64
-	Rows       int64
-	// Checksum is the content hash of Partitions recorded by Store.Write;
-	// Consume verifies the stored payload against it.
+	// Encoded holds the at-rest payload: one columnar block per partition
+	// of the view's physical design (see internal/data/colenc). Set by
+	// Store.Write; read through Store.Consume, which decodes.
+	Encoded [][]byte
+	// Bytes is the true at-rest footprint — the total size of the encoded
+	// blocks. Storage accounting (TotalBytes, Purge, ReclaimLowestUtility)
+	// evicts on this real footprint.
+	Bytes int64
+	// LogicalBytes is the decoded row-representation size (the sum of
+	// Row.ByteSize). The cost model and the optimizer's reuse estimates
+	// price a view scan on this — what the consumer materializes in
+	// memory — independent of at-rest compression.
+	LogicalBytes int64
+	Rows         int64
+	// Checksum is the content hash of the encoded payload recorded by
+	// Store.Write; Consume verifies the stored blocks against it.
 	Checksum uint64
 }
+
+// PartitionCount returns the number of partitions in the view's physical
+// design without decoding any of them.
+func (v *View) PartitionCount() int { return len(v.Encoded) }
 
 // PathFor builds the canonical physical path of a view, embedding the
 // precise signature and producing job — the paper's trick for provenance
@@ -88,8 +114,8 @@ func PathFor(preciseSig, jobID string) string {
 	return fmt.Sprintf("/views/%s/%s.ss", preciseSig, jobID)
 }
 
-// Store is a concurrent view store with signature lookup, expiry, and
-// consume-time integrity verification.
+// Store is a concurrent view store with signature lookup, expiry,
+// consume-time integrity verification, and a decoded hot-view cache.
 type Store struct {
 	// Faults, if set, injects storage failures (reads, writes, silent
 	// corruption). Wired by fault-injection tests and chaos soaks.
@@ -104,68 +130,181 @@ type Store struct {
 	mu        sync.RWMutex
 	byPath    map[string]*View
 	byPrecise map[string]string // precise sig -> path
-	verified  map[string]bool   // paths whose checksum already verified
-	bytes     int64
+	bytes     int64             // encoded (at-rest) bytes
+
+	cache viewCache
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store with the hot-view cache at its default
+// budget (DefaultCacheBudget; SetCacheBudget adjusts or disables it).
 func NewStore() *Store {
-	return &Store{
+	s := &Store{
 		byPath:    map[string]*View{},
 		byPrecise: map[string]string{},
-		verified:  map[string]bool{},
 	}
+	s.cache.init(DefaultCacheBudget)
+	return s
 }
 
-// checksumPartitions folds every row's content hash with its partition
-// index. Ordering within and across partitions matters: the physical
-// layout is part of what Write sealed, so a reordered or truncated payload
-// must verify differently.
-func checksumPartitions(parts [][]data.Row) uint64 {
+// checksumEncoded folds every encoded partition block with its partition
+// index (FNV-1a over the block bytes). Ordering matters: the physical
+// layout is part of what Write sealed, so reordered, truncated, or
+// bit-damaged payloads must verify differently.
+func checksumEncoded(blocks [][]byte) uint64 {
 	const prime64 = 1099511628211
 	h := uint64(14695981039346656037)
-	for i, p := range parts {
+	for i, b := range blocks {
 		h = h*prime64 ^ uint64(i+1)
-		for _, r := range p {
-			h = h*prime64 ^ r.Hash64()
+		for _, c := range b {
+			h = (h ^ uint64(c)) * prime64
 		}
 	}
 	return h
 }
 
-// corruptCopy returns a damaged copy of parts: the last row of the first
-// non-empty partition is dropped. Only the outer slice headers are fresh —
-// the rows themselves are never touched, since they may alias live job
-// state (the engine's row-immutability contract).
-func corruptCopy(parts [][]data.Row) [][]data.Row {
-	out := make([][]data.Row, len(parts))
-	copy(out, parts)
-	for i, p := range out {
-		if len(p) > 0 {
-			out[i] = p[:len(p)-1:len(p)-1]
+// corruptPayload returns a damaged copy of the encoded payload: one bit is
+// flipped in the middle of the first non-empty block. Only that block (and
+// the outer slice) is fresh — the remaining blocks alias the clean
+// payload. This models silent at-rest data damage; only consume-time
+// checksum verification can catch it.
+func corruptPayload(blocks [][]byte) [][]byte {
+	out := make([][]byte, len(blocks))
+	copy(out, blocks)
+	for i, b := range out {
+		if len(b) > 0 {
+			dam := append([]byte(nil), b...)
+			dam[len(dam)/2] ^= 0x10
+			out[i] = dam
 			break
 		}
 	}
 	return out
 }
 
-// Write installs a view and reports whether this call created it. A second
-// view for an already-materialized precise signature is not an error:
-// build-lock expiry (§6.1 fault tolerance) can hand the lock to a takeover
-// builder while the original is still running, and equal precise signatures
+// encodeParallel encodes every partition into its columnar block, fanning
+// out across partitions, and returns the blocks plus the payload accounting
+// (encoded bytes, decoded row bytes, rows).
+func encodeParallel(parts [][]data.Row) (blocks [][]byte, encBytes, logicalBytes, rows int64, err error) {
+	blocks = make([][]byte, len(parts))
+	logical := make([]int64, len(parts))
+	errs := make([]error, len(parts))
+	partitionRange(len(parts), func(i int) {
+		blocks[i], errs[i] = colenc.Encode(parts[i])
+		var lb int64
+		for _, r := range parts[i] {
+			lb += r.ByteSize()
+		}
+		logical[i] = lb
+	})
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, 0, 0, 0, errs[i]
+		}
+		encBytes += int64(len(blocks[i]))
+		logicalBytes += logical[i]
+		rows += int64(len(parts[i]))
+	}
+	return blocks, encBytes, logicalBytes, rows, nil
+}
+
+// decodeParallel decodes every block back into rows, fanning out across
+// partitions.
+func decodeParallel(blocks [][]byte) ([][]data.Row, error) {
+	parts := make([][]data.Row, len(blocks))
+	errs := make([]error, len(blocks))
+	partitionRange(len(blocks), func(i int) {
+		parts[i], errs[i] = colenc.Decode(blocks[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// partitionRange runs fn(i) for i in [0, n) with up to GOMAXPROCS
+// goroutines. fn writes only slot i, and the join establishes the
+// happens-before edge back to the caller. Small inputs run inline — the
+// codec on a few rows is cheaper than a handoff.
+func partitionRange(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n <= 1 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Write encodes parts into the view's at-rest payload and installs it,
+// reporting whether this call created the view. A second view for an
+// already-materialized precise signature is not an error: build-lock
+// expiry (§6.1 fault tolerance) can hand the lock to a takeover builder
+// while the original is still running, and equal precise signatures
 // compute byte-identical results, so the race resolves first-writer-wins —
-// the losing write is discarded and Write returns created=false. Reusing a
-// path is still rejected: paths embed the producing job ID, so a collision
-// means one job wrote the same view twice.
+// the losing write is discarded and Write returns created=false. A path
+// collision where the resident view has the same precise signature and
+// producer is the producer's own retry — a vertex that crashed after its
+// write landed re-runs, and the installed copy already is this payload —
+// so it too returns created=false. Any other path reuse is rejected:
+// paths embed the producing job ID, so that collision means one job wrote
+// two different views to the same place.
 //
 // Write records the payload checksum on the view. An injected write fault
 // fails the call before anything is installed (safe to retry); an injected
-// corruption stores a damaged payload under the clean checksum, modeling
-// silent data loss that only consume-time verification can catch.
-func (s *Store) Write(v *View) (created bool, err error) {
+// corruption stores a bit-damaged payload under the clean checksum,
+// modeling silent data loss that only consume-time verification can catch.
+func (s *Store) Write(v *View, parts [][]data.Row) (created bool, err error) {
+	// Cheap pre-check so a write that lost the build race does not pay for
+	// an encode it will discard. Results are revalidated under the lock.
+	s.mu.RLock()
+	resident, pathDup := s.byPath[v.Path]
+	_, sigDup := s.byPrecise[v.PreciseSig]
+	s.mu.RUnlock()
+	if pathDup {
+		if resident.PreciseSig == v.PreciseSig && resident.ProducerJobID == v.ProducerJobID {
+			return false, nil // the producer's own retry; already installed
+		}
+		return false, fmt.Errorf("storage: path %q already exists", v.Path)
+	}
+	if sigDup {
+		return false, nil
+	}
+
+	// Encode outside the lock: the payload walk is the expensive part, and
+	// concurrent writers of distinct views must not serialize on it.
+	blocks, encBytes, logicalBytes, rows, err := encodeParallel(parts)
+	if err != nil {
+		return false, fmt.Errorf("storage: encode %q: %w", v.Path, err)
+	}
+	checksum := checksumEncoded(blocks)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.byPath[v.Path]; ok {
+	if res, ok := s.byPath[v.Path]; ok {
+		if res.PreciseSig == v.PreciseSig && res.ProducerJobID == v.ProducerJobID {
+			return false, nil
+		}
 		return false, fmt.Errorf("storage: path %q already exists", v.Path)
 	}
 	if _, ok := s.byPrecise[v.PreciseSig]; ok {
@@ -179,30 +318,25 @@ func (s *Store) Write(v *View) (created bool, err error) {
 			return false, fmt.Errorf("storage: write %q: %w", v.Path, ferr)
 		}
 	}
-	var rows, bytes int64
-	for _, p := range v.Partitions {
-		rows += int64(len(p))
-		for _, r := range p {
-			bytes += r.ByteSize()
-		}
-	}
 	// Rows, bytes, and the checksum describe the payload the producer
 	// sealed; an injected corruption swaps in a damaged payload underneath
 	// them, so consume-time verification detects the mismatch.
-	v.Rows, v.Bytes = rows, bytes
-	v.Checksum = checksumPartitions(v.Partitions)
+	v.Rows, v.Bytes, v.LogicalBytes = rows, encBytes, logicalBytes
+	v.Encoded = blocks
+	v.Checksum = checksum
 	if corrupt {
-		v.Partitions = corruptCopy(v.Partitions)
+		v.Encoded = corruptPayload(blocks)
 	}
 	s.byPath[v.Path] = v
 	s.byPrecise[v.PreciseSig] = v.Path
-	s.bytes += bytes
+	s.bytes += v.Bytes
 	return true, nil
 }
 
-// Get returns the view at path without integrity verification — the raw
-// metadata-level accessor used by maintenance and tests. Executing jobs
-// read views through Consume.
+// Get returns the view at path without integrity verification or decoding
+// — the metadata-level accessor used by maintenance and tests. Listing and
+// reclaim ranking work off the returned headers alone; executing jobs read
+// views through Consume.
 func (s *Store) Get(path string) (*View, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -213,45 +347,49 @@ func (s *Store) Get(path string) (*View, error) {
 	return v, nil
 }
 
-// Consume returns the view at path for a consuming job: injected read
-// faults surface first (transient — the vertex retry re-reads), then the
-// stored payload is verified against the checksum recorded at Write. A
-// mismatch is a CorruptError; the caller is expected to quarantine the
-// view and re-plan without it. Successful verification is cached — views
-// are immutable once written, so one payload walk amortizes across every
-// recurring consumer.
-func (s *Store) Consume(path string) (*View, error) {
+// Consume returns the view at path, decoded, for a consuming job: injected
+// read faults surface first (transient — the vertex retry re-reads), then
+// the hot cache is tried, and on a miss the encoded payload is verified
+// against the checksum recorded at Write and decoded partition-parallel. A
+// mismatch (or an undecodable block) is a CorruptError; the caller is
+// expected to quarantine the view and re-plan without it.
+//
+// The returned partitions may be shared with other consumers (the cache
+// serves them zero-copy): callers must treat rows as immutable, the same
+// read-only aliasing contract every view scan already obeys.
+func (s *Store) Consume(path string) (*View, [][]data.Row, error) {
 	if s.Faults != nil {
 		if err := s.Faults.ReadView(path); err != nil {
-			return nil, fmt.Errorf("storage: read %q: %w", path, err)
+			return nil, nil, fmt.Errorf("storage: read %q: %w", path, err)
 		}
 	}
 	s.mu.RLock()
 	v, ok := s.byPath[path]
-	verified := ok && s.verified[path]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, &NotFoundError{Path: path}
+		return nil, nil, &NotFoundError{Path: path}
 	}
-	if verified {
-		return v, nil
+	if parts, hit := s.cache.get(path); hit {
+		return v, parts, nil
 	}
-	// Verify outside the lock: the payload is immutable and the walk is
-	// O(rows). Concurrent first consumers may both verify; both cache the
-	// same answer.
-	if checksumPartitions(v.Partitions) != v.Checksum {
-		return nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
+	// Verify and decode outside the lock: the payload is immutable.
+	// Concurrent first consumers may both decode; both admit the same
+	// answer and the cache keeps one.
+	if checksumEncoded(v.Encoded) != v.Checksum {
+		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
 	}
-	s.mu.Lock()
-	if cur, ok := s.byPath[path]; ok && cur == v {
-		s.verified[path] = true
+	parts, err := decodeParallel(v.Encoded)
+	if err != nil {
+		// The checksum matched but the payload does not parse: damage that
+		// slipped under the hash, still quarantinable corruption.
+		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
 	}
-	s.mu.Unlock()
-	return v, nil
+	parts = s.cache.admit(path, parts, v.LogicalBytes)
+	return v, parts, nil
 }
 
 // LookupPrecise returns the view materialized for the precise signature,
-// or nil if none exists.
+// or nil if none exists. Header-only: nothing is decoded.
 func (s *Store) LookupPrecise(sig string) *View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -261,11 +399,14 @@ func (s *Store) LookupPrecise(sig string) *View {
 	return nil
 }
 
-// Delete removes the view at path. It is idempotent.
+// Delete removes the view at path, including any hot-cache entry for it —
+// a deleted (or quarantined) view must not be served from cache. It is
+// idempotent.
 func (s *Store) Delete(path string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.deleteLocked(path)
+	s.mu.Unlock()
+	s.cache.drop(path)
 }
 
 func (s *Store) deleteLocked(path string) {
@@ -275,7 +416,6 @@ func (s *Store) deleteLocked(path string) {
 	}
 	delete(s.byPath, path)
 	delete(s.byPrecise, v.PreciseSig)
-	delete(s.verified, path)
 	s.bytes -= v.Bytes
 }
 
@@ -316,7 +456,8 @@ func (s *Store) Purge(now int64) []string {
 	return s.reap(victims)
 }
 
-// TotalBytes returns the bytes currently held by all views.
+// TotalBytes returns the at-rest (encoded) bytes currently held by all
+// views — the real resident footprint, not the decoded row size.
 func (s *Store) TotalBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -330,7 +471,8 @@ func (s *Store) Len() int {
 	return len(s.byPath)
 }
 
-// Views returns a snapshot of all stored views, ordered by path.
+// Views returns a snapshot of all stored views, ordered by path. Nothing
+// is decoded: maintenance and ranking consume headers only.
 func (s *Store) Views() []*View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -346,7 +488,9 @@ func (s *Store) Views() []*View {
 // score provided by rank until at least wantBytes have been reclaimed.
 // This is the admin "reclaim storage by min-utility" operation of §5.4.
 // Victims are deregistered from metadata (Deregister callback) before
-// their files are deleted. It returns the purged paths.
+// their files are deleted — which also drops their hot-cache entries, so
+// eviction and the cache stay coordinated. Reclamation accounts in real
+// (encoded) bytes. It returns the purged paths.
 func (s *Store) ReclaimLowestUtility(wantBytes int64, rank func(*View) float64) []string {
 	s.mu.Lock()
 	type scored struct {

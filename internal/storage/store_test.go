@@ -10,19 +10,33 @@ import (
 	"cloudviews/internal/data"
 )
 
-func mkView(sig string, rows int, expiry int64) *View {
+// mkParts builds one single-partition payload of rows int/string rows.
+func mkParts(rows int) [][]data.Row {
 	part := make([]data.Row, rows)
 	for i := range part {
 		part[i] = data.Row{data.Int(int64(i)), data.String_("x")}
 	}
+	return [][]data.Row{part}
+}
+
+func mkView(sig string, expiry int64) *View {
 	return &View{
 		Path:       PathFor(sig, "job-"+sig),
 		PreciseSig: sig,
 		NormSig:    "n-" + sig,
 		ExpiresAt:  expiry,
 		Schema:     data.Schema{{Name: "k", Kind: data.KindInt}, {Name: "v", Kind: data.KindString}},
-		Partitions: [][]data.Row{part},
 	}
+}
+
+// write is the test shorthand for Write(mkView(...), mkParts(rows)).
+func write(t *testing.T, s *Store, sig string, rows int, expiry int64) *View {
+	t.Helper()
+	v := mkView(sig, expiry)
+	if created, err := s.Write(v, mkParts(rows)); err != nil || !created {
+		t.Fatalf("write %s: created=%v err=%v", sig, created, err)
+	}
+	return v
 }
 
 func TestPathForEmbedsSigAndJob(t *testing.T) {
@@ -34,12 +48,25 @@ func TestPathForEmbedsSigAndJob(t *testing.T) {
 
 func TestWriteGetLookup(t *testing.T) {
 	s := NewStore()
-	v := mkView("sig1", 10, 100)
-	if _, err := s.Write(v); err != nil {
-		t.Fatal(err)
-	}
+	v := write(t, s, "sig1", 10, 100)
 	if v.Rows != 10 || v.Bytes <= 0 {
 		t.Errorf("Write did not account rows/bytes: %d/%d", v.Rows, v.Bytes)
+	}
+	// The at-rest footprint is the encoded payload; the logical size is the
+	// row representation a consumer materializes — and for this compressible
+	// data the encoding must be strictly smaller.
+	if v.LogicalBytes <= v.Bytes {
+		t.Errorf("encoded %d bytes not smaller than logical %d", v.Bytes, v.LogicalBytes)
+	}
+	var enc int64
+	for _, b := range v.Encoded {
+		enc += int64(len(b))
+	}
+	if enc != v.Bytes {
+		t.Errorf("View.Bytes=%d but encoded blocks total %d", v.Bytes, enc)
+	}
+	if v.PartitionCount() != 1 {
+		t.Errorf("PartitionCount = %d", v.PartitionCount())
 	}
 	got, err := s.Get(v.Path)
 	if err != nil || got != v {
@@ -61,20 +88,28 @@ func TestWriteGetLookup(t *testing.T) {
 
 func TestDuplicateWrites(t *testing.T) {
 	s := NewStore()
-	first := mkView("sig1", 1, 10)
-	if created, err := s.Write(first); err != nil || !created {
-		t.Fatalf("first write: created=%v err=%v", created, err)
+	first := write(t, s, "sig1", 1, 10)
+	// Same path, same signature, same producer: the producer's own retry
+	// (its vertex crashed after the write landed). Idempotent, not an
+	// error — the installed copy stands.
+	if created, err := s.Write(mkView("sig1", 10), mkParts(1)); err != nil || created {
+		t.Errorf("producer retry: created=%v err=%v, want false, nil", created, err)
 	}
-	// Same path: one job writing the same view twice is a hard error.
-	if _, err := s.Write(mkView("sig1", 1, 10)); err == nil {
-		t.Error("duplicate path accepted")
+	if s.Len() != 1 {
+		t.Fatalf("retry must not install a second view, Len=%d", s.Len())
+	}
+	// Same path, different signature: a genuine collision is a hard error.
+	clash := mkView("sig2", 10)
+	clash.Path = first.Path
+	if _, err := s.Write(clash, mkParts(1)); err == nil {
+		t.Error("conflicting duplicate path accepted")
 	}
 	// Same signature, different path: a takeover builder losing the
 	// first-writer-wins race (§6.1 fault tolerance). Not an error, but
 	// the losing copy must be discarded.
-	v := mkView("sig1", 1, 10)
+	v := mkView("sig1", 10)
 	v.Path = "/views/other"
-	if created, err := s.Write(v); err != nil || created {
+	if created, err := s.Write(v, mkParts(1)); err != nil || created {
 		t.Errorf("lost race: created=%v err=%v, want false, nil", created, err)
 	}
 	if s.Len() != 1 || s.LookupPrecise("sig1").Path != first.Path {
@@ -88,9 +123,7 @@ func TestDuplicateWrites(t *testing.T) {
 func TestDeleteAndPurge(t *testing.T) {
 	s := NewStore()
 	for i, exp := range []int64{5, 10, 15} {
-		if _, err := s.Write(mkView(fmt.Sprintf("s%d", i), 2, exp)); err != nil {
-			t.Fatal(err)
-		}
+		write(t, s, fmt.Sprintf("s%d", i), 2, exp)
 	}
 	purged := s.Purge(10)
 	if len(purged) != 2 {
@@ -112,9 +145,7 @@ func TestDeleteAndPurge(t *testing.T) {
 func TestViewsSnapshotOrdered(t *testing.T) {
 	s := NewStore()
 	for _, sig := range []string{"c", "a", "b"} {
-		if _, err := s.Write(mkView(sig, 1, 99)); err != nil {
-			t.Fatal(err)
-		}
+		write(t, s, sig, 1, 99)
 	}
 	vs := s.Views()
 	if len(vs) != 3 {
@@ -131,9 +162,7 @@ func TestReclaimLowestUtility(t *testing.T) {
 	s := NewStore()
 	// Three views, utility = expiry for the test. Sizes equal.
 	for i, sig := range []string{"low", "mid", "high"} {
-		if _, err := s.Write(mkView(sig, 4, int64(i))); err != nil {
-			t.Fatal(err)
-		}
+		write(t, s, sig, 4, int64(i))
 	}
 	one := s.Views()[0].Bytes
 	purged := s.ReclaimLowestUtility(one+1, func(v *View) float64 { return float64(v.ExpiresAt) })
@@ -157,7 +186,7 @@ func TestConcurrentStoreOps(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				sig := fmt.Sprintf("g%d-%d", g, i)
-				if _, err := s.Write(mkView(sig, 1, int64(i))); err != nil {
+				if _, err := s.Write(mkView(sig, int64(i)), mkParts(1)); err != nil {
 					t.Errorf("write: %v", err)
 				}
 				s.LookupPrecise(sig)
@@ -186,24 +215,33 @@ func (f *stubFaults) WriteView(string) (bool, error) {
 
 func TestConsumeVerifiesChecksum(t *testing.T) {
 	s := NewStore()
-	v := mkView("ok", 8, 100)
-	if _, err := s.Write(v); err != nil {
-		t.Fatal(err)
-	}
+	v := write(t, s, "ok", 8, 100)
 	if v.Checksum == 0 {
 		t.Fatal("Write recorded no checksum")
 	}
-	got, err := s.Consume(v.Path)
+	got, parts, err := s.Consume(v.Path)
 	if err != nil || got != v {
 		t.Fatalf("Consume = %v, %v", got, err)
 	}
-	// Second consume hits the verified cache and still succeeds.
-	if _, err := s.Consume(v.Path); err != nil {
+	if len(parts) != 1 || len(parts[0]) != 8 {
+		t.Fatalf("Consume decoded %d parts", len(parts))
+	}
+	for i, r := range parts[0] {
+		if r[0].I != int64(i) || r[1].S != "x" {
+			t.Fatalf("row %d decoded as %#v", i, r)
+		}
+	}
+	// Second consume hits the hot cache and serves the same decoded rows.
+	_, again, err := s.Consume(v.Path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if &again[0][0] != &parts[0][0] {
+		t.Error("repeat consume did not share the cached decode")
 	}
 	// A missing path is a typed NotFoundError.
 	var nf *NotFoundError
-	if _, err := s.Consume("/nope"); !errors.As(err, &nf) {
+	if _, _, err := s.Consume("/nope"); !errors.As(err, &nf) {
 		t.Fatalf("Consume missing = %v, want NotFoundError", err)
 	}
 }
@@ -211,26 +249,34 @@ func TestConsumeVerifiesChecksum(t *testing.T) {
 func TestCorruptWriteDetectedOnConsume(t *testing.T) {
 	s := NewStore()
 	s.Faults = &stubFaults{corrupt: true}
-	v := mkView("bad", 8, 100)
-	created, err := s.Write(v)
+	v := mkView("bad", 100)
+	created, err := s.Write(v, mkParts(8))
 	if err != nil || !created {
 		t.Fatalf("corrupted write should still succeed silently: %v %v", created, err)
 	}
 	s.Faults = nil
+	// The injected fault damaged the stored payload bytes underneath the
+	// clean checksum.
+	if checksumEncoded(v.Encoded) == v.Checksum {
+		t.Fatal("corrupt write left payload matching its checksum")
+	}
 	// The raw accessor returns the view; only Consume verifies.
 	if _, err := s.Get(v.Path); err != nil {
 		t.Fatal(err)
 	}
 	var ce *CorruptError
-	if _, err := s.Consume(v.Path); !errors.As(err, &ce) {
+	if _, _, err := s.Consume(v.Path); !errors.As(err, &ce) {
 		t.Fatalf("Consume corrupt = %v, want CorruptError", err)
 	}
 	if ce.Path != v.Path || ce.PreciseSig != "bad" {
 		t.Errorf("CorruptError carries %q/%q", ce.Path, ce.PreciseSig)
 	}
 	// Corruption is sticky: a later consume still fails (no false cache).
-	if _, err := s.Consume(v.Path); !errors.As(err, &ce) {
+	if _, _, err := s.Consume(v.Path); !errors.As(err, &ce) {
 		t.Error("corrupt view passed verification on retry")
+	}
+	if len(s.CachedPaths()) != 0 {
+		t.Error("corrupt view must never enter the hot cache")
 	}
 }
 
@@ -240,23 +286,23 @@ func TestInjectedReadAndWriteFaults(t *testing.T) {
 	s.Faults = f
 
 	f.writeErr = errInjected{}
-	if _, err := s.Write(mkView("w", 2, 10)); err == nil {
+	if _, err := s.Write(mkView("w", 10), mkParts(2)); err == nil {
 		t.Fatal("write fault not surfaced")
 	}
 	if s.Len() != 0 {
 		t.Fatal("failed write left state behind")
 	}
 	f.writeErr = nil
-	if _, err := s.Write(mkView("w", 2, 10)); err != nil {
+	if _, err := s.Write(mkView("w", 10), mkParts(2)); err != nil {
 		t.Fatal("retried write should succeed")
 	}
 
 	f.readErr = errInjected{}
-	if _, err := s.Consume(PathFor("w", "job-w")); err == nil {
+	if _, _, err := s.Consume(PathFor("w", "job-w")); err == nil {
 		t.Fatal("read fault not surfaced")
 	}
 	f.readErr = nil
-	if _, err := s.Consume(PathFor("w", "job-w")); err != nil {
+	if _, _, err := s.Consume(PathFor("w", "job-w")); err != nil {
 		t.Fatalf("retried read failed: %v", err)
 	}
 }
@@ -273,9 +319,7 @@ func (errInjected) Transient() bool { return true }
 func TestPurgeDeregistersBeforeDelete(t *testing.T) {
 	s := NewStore()
 	for i, sig := range []string{"a", "b", "c"} {
-		if _, err := s.Write(mkView(sig, 2, int64(i))); err != nil {
-			t.Fatal(err)
-		}
+		write(t, s, sig, 2, int64(i))
 	}
 	var order []string
 	s.Deregister = func(sig, path string) {
@@ -300,5 +344,46 @@ func TestPurgeDeregistersBeforeDelete(t *testing.T) {
 	reclaimed := s.ReclaimLowestUtility(1, func(v *View) float64 { return 0 })
 	if len(reclaimed) != 1 || len(order) != 1 {
 		t.Fatalf("reclaimed %v, deregistered %v", reclaimed, order)
+	}
+}
+
+// TestMultiPartitionRoundTrip covers parallel encode/decode over many
+// partitions: every partition must come back in position, bit-exact.
+func TestMultiPartitionRoundTrip(t *testing.T) {
+	s := NewStore()
+	parts := make([][]data.Row, 64)
+	for p := range parts {
+		rows := make([]data.Row, 50+p)
+		for i := range rows {
+			rows[i] = data.Row{data.Int(int64(p*1000 + i)), data.String_(fmt.Sprintf("p%d", p)), data.Float(float64(i) / 3)}
+		}
+		parts[p] = rows
+	}
+	v := mkView("multi", 100)
+	if _, err := s.Write(v, parts); err != nil {
+		t.Fatal(err)
+	}
+	if v.PartitionCount() != 64 {
+		t.Fatalf("PartitionCount = %d", v.PartitionCount())
+	}
+	_, got, err := s.Consume(v.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("decoded %d partitions, want %d", len(got), len(parts))
+	}
+	for p := range parts {
+		if len(got[p]) != len(parts[p]) {
+			t.Fatalf("partition %d: %d rows, want %d", p, len(got[p]), len(parts[p]))
+		}
+		for i := range parts[p] {
+			for c := range parts[p][i] {
+				a, b := got[p][i][c], parts[p][i][c]
+				if a.K != b.K || a.I != b.I || a.F != b.F || a.S != b.S {
+					t.Fatalf("partition %d row %d col %d: %#v != %#v", p, i, c, a, b)
+				}
+			}
+		}
 	}
 }

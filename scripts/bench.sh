@@ -191,3 +191,123 @@ SEED
 } > "$EXEC_OUT"
 
 echo "wrote $EXEC_OUT"
+
+# ---------------------------------------------------------------------------
+# View-storage benchmarks → BENCH_storage.json.
+#
+# The storage layer holds views as columnar encoded payloads (see
+# internal/data/colenc and DESIGN.md §11): Write encodes partitions in
+# parallel, a cold Consume verifies the payload checksum and decodes, a hot
+# Consume is served decoded rows from the sharded hot-view cache.
+# Families: the colenc codec itself (encode/decode MB/s and the at-rest
+# compression ratio = row-bytes per encoded byte), the store paths
+# (Write / ConsumeCold / ConsumeHot at 4/16/64 partitions), and the
+# end-to-end reuse-hit job (view scan → sort → top-k through the executor).
+# The "seed" block holds the numbers of the row-slice store measured with a
+# mirror harness on the pre-columnar tree (ratio is 1.0 there by
+# construction: views were stored as their row representation; there was no
+# codec, so the Colenc benches carry no seed entry). Like the exec sweep,
+# each family runs in its own process and the per-benchmark minimum over
+# BENCH_STORAGE_PASSES passes is recorded.
+# ---------------------------------------------------------------------------
+
+STORAGE_OUT=BENCH_storage.json
+STORAGE_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$EXEC_TMP" "$STORAGE_TMP"' EXIT
+
+SPASSES="${BENCH_STORAGE_PASSES:-2}"
+
+pass=1
+while [ "$pass" -le "$SPASSES" ]; do
+	go test -run='^$' -bench='^BenchmarkColenc' \
+		-benchtime="$BENCHTIME" ./internal/data/colenc/ | tee -a "$STORAGE_TMP"
+	for fam in StorageWrite StorageConsumeCold StorageConsumeHot; do
+		go test -run='^$' -bench="^Benchmark${fam}\$" \
+			-benchtime="$BENCHTIME" ./internal/storage/ | tee -a "$STORAGE_TMP"
+	done
+	go test -run='^$' -bench='^BenchmarkStorageReuseHitJob$' \
+		-benchtime="$BENCHTIME" ./internal/exec/ | tee -a "$STORAGE_TMP"
+	pass=$((pass + 1))
+done
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "passes": %s,\n' "$SPASSES"
+	cat <<'SEED'
+  "seed": {
+    "BenchmarkStorageWrite/parts=4": {"ns_op": 436748, "mb_s": 1599.02, "ratio": 1.0},
+    "BenchmarkStorageWrite/parts=16": {"ns_op": 1693173, "mb_s": 1649.84, "ratio": 1.0},
+    "BenchmarkStorageWrite/parts=64": {"ns_op": 8359854, "mb_s": 1336.61, "ratio": 1.0},
+    "BenchmarkStorageConsumeCold/parts=4": {"ns_op": 306851, "mb_s": 2275.92},
+    "BenchmarkStorageConsumeCold/parts=16": {"ns_op": 1160460, "mb_s": 2407.21},
+    "BenchmarkStorageConsumeCold/parts=64": {"ns_op": 5139734, "mb_s": 2174.02},
+    "BenchmarkStorageConsumeHot/parts=4": {"ns_op": 32.76},
+    "BenchmarkStorageConsumeHot/parts=16": {"ns_op": 34.03},
+    "BenchmarkStorageConsumeHot/parts=64": {"ns_op": 36.65},
+    "BenchmarkStorageReuseHitJob/parts=4": {"ns_op": 4498089},
+    "BenchmarkStorageReuseHitJob/parts=16": {"ns_op": 5298636},
+    "BenchmarkStorageReuseHitJob/parts=64": {"ns_op": 6528211}
+  },
+SEED
+	awk '
+		BEGIN {
+			seedRatio["BenchmarkStorageWrite/parts=4"] = 1.0
+			seedRatio["BenchmarkStorageWrite/parts=16"] = 1.0
+			seedRatio["BenchmarkStorageWrite/parts=64"] = 1.0
+			seedNs["BenchmarkStorageWrite/parts=4"] = 436748
+			seedNs["BenchmarkStorageWrite/parts=16"] = 1693173
+			seedNs["BenchmarkStorageWrite/parts=64"] = 8359854
+			seedNs["BenchmarkStorageConsumeCold/parts=4"] = 306851
+			seedNs["BenchmarkStorageConsumeCold/parts=16"] = 1160460
+			seedNs["BenchmarkStorageConsumeCold/parts=64"] = 5139734
+			seedNs["BenchmarkStorageConsumeHot/parts=4"] = 32.76
+			seedNs["BenchmarkStorageConsumeHot/parts=16"] = 34.03
+			seedNs["BenchmarkStorageConsumeHot/parts=64"] = 36.65
+			seedNs["BenchmarkStorageReuseHitJob/parts=4"] = 4498089
+			seedNs["BenchmarkStorageReuseHitJob/parts=16"] = 5298636
+			seedNs["BenchmarkStorageReuseHitJob/parts=64"] = 6528211
+		}
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = mbs = ratio = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				else if ($i == "MB/s") mbs = $(i-1)
+				else if ($i == "ratio") ratio = $(i-1)
+			}
+			if (ns == "") next
+			if (!(name in minNs) || ns + 0 < minNs[name] + 0) {
+				minNs[name] = ns
+				maxMbs[name] = mbs
+				theRatio[name] = ratio
+			}
+			if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+		}
+		END {
+			printf "  \"current\": {\n"
+			for (i = 0; i < n; i++) {
+				nm = order[i]
+				line = sprintf("    \"%s\": {\"ns_op\": %s", nm, minNs[nm])
+				if (maxMbs[nm] != "")
+					line = line sprintf(", \"mb_s\": %s", maxMbs[nm])
+				if (theRatio[nm] != "")
+					line = line sprintf(", \"ratio\": %s", theRatio[nm])
+				if (nm in seedNs)
+					line = line sprintf(", \"speedup_vs_seed\": %.2f", seedNs[nm] / minNs[nm])
+				if (nm in seedRatio && theRatio[nm] != "")
+					line = line sprintf(", \"bytes_reduction_vs_seed\": %.2f", theRatio[nm] / seedRatio[nm])
+				line = line "}"
+				printf "%s%s\n", line, (i < n-1 ? "," : "")
+			}
+			printf "  }\n"
+		}
+	' "$STORAGE_TMP"
+	printf '}\n'
+} > "$STORAGE_OUT"
+
+echo "wrote $STORAGE_OUT"

@@ -8,12 +8,21 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/
+go test -race ./internal/core/ ./internal/exec/ ./internal/cluster/ ./internal/storage/
 # Parallel data-plane kernels under the race detector, by name: the
 # partition-parallel join/agg/exchange/sort paths and the skewed-partition
 # stress that diffs them against the serial reference walk.
 go test -race -run='TestSkewStress|TestParallelScheduler|TestViewScanConcurrent|TestExecutionDeterminism|TestMergeJoinMatchesHashJoin' \
 	-count=1 ./internal/exec/
+# Hot-view cache under the race detector, by name: concurrent consumers
+# sharing one decode while views churn (delete/rewrite), plus the parallel
+# encode/decode multi-partition round trip.
+go test -race -run='TestConsumeCacheConcurrent|TestConcurrentStoreOps|TestMultiPartitionRoundTrip' \
+	-count=1 ./internal/storage/
+# Columnar codec fuzz smoke: a short seeded-corpus fuzz run of the
+# encode/decode round trip (all data kinds, NULLs, extreme values,
+# corrupt-payload rejection). Longer runs: go test -fuzz with a budget.
+go test -run='^$' -fuzz='^FuzzColencRoundTrip$' -fuzztime=10s ./internal/data/colenc/
 # Chaos soak under the race detector, bounded rounds: concurrent jobs
 # through a seeded fault schedule (vertex crashes, storage faults, view
 # corruption, metadata blackouts) with per-job output validation. The
@@ -22,6 +31,11 @@ CHAOS_ROUNDS="${CHAOS_ROUNDS:-2}" go test -race -run='TestChaosSoak' -count=1 ./
 # Exec kernel benchmark smoke: one iteration of every data-plane benchmark
 # exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
 go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
+# Storage benchmark smoke: codec, store write/consume, and the end-to-end
+# reuse-hit job (full runs + BENCH_storage.json live in bench.sh).
+go test -run='^$' -bench='^BenchmarkColenc|^BenchmarkStorage' -benchtime=1x \
+	./internal/data/colenc/ ./internal/storage/
+go test -run='^$' -bench='^BenchmarkStorageReuseHitJob$' -benchtime=1x ./internal/exec/
 # Frontend hot-path benchmarks (per-job submission cost): one iteration
 # verifies the benchmark harnesses and their internal assertions.
 go test -run='^$' -bench='^BenchmarkSignature$|^BenchmarkOptimizeFrontend$|^BenchmarkMetadataLookup' \
