@@ -186,9 +186,10 @@ type (
 
 // Selection strategies for AnalyzerConfig.Strategy.
 const (
-	TopKUtility        = analyzer.TopKUtility
-	TopKUtilityPerByte = analyzer.TopKUtilityPerByte
-	PackStorageBudget  = analyzer.PackStorageBudget
+	TopKUtility              = analyzer.TopKUtility
+	TopKUtilityPerByte       = analyzer.TopKUtilityPerByte
+	PackStorageBudget        = analyzer.PackStorageBudget
+	PackStorageBudgetOptimal = analyzer.PackStorageBudgetOptimal
 )
 
 // Repository is the workload repository behind the feedback loop;

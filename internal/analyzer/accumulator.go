@@ -1,0 +1,165 @@
+package analyzer
+
+import (
+	"sort"
+
+	"cloudviews/internal/exec"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/workload"
+)
+
+// candidateAccumulator folds one normalized signature's occurrences into
+// running statistics, replacing the serial walk's materialized observation
+// group. Most signatures never overlap, so the accumulator starts as a
+// single pending pointer into the repository snapshot and only allocates
+// its maps when a second occurrence proves the signature is a candidate:
+// peak memory scales with the number of candidates, not observations.
+type candidateAccumulator struct {
+	// first is the pending singleton occurrence; nil once promoted.
+	first  *workload.Observation
+	freq   int
+	rootOp plan.OpKind
+	// Running sums, folded in repository record order so the final
+	// averages are bit-identical to the serial group fold.
+	cost, lat, rows, bytes, ratio float64
+	jobs, users, inputs, tags     map[string]bool
+	designs                       map[string]*designTally
+}
+
+// fold adds one occurrence. The first occurrence is merely parked; the
+// second promotes the accumulator, folding the parked observation before
+// the current one so the sum order stays the record order.
+func (a *candidateAccumulator) fold(o *workload.Observation, cfg *Config) {
+	a.freq++
+	if a.freq == 1 {
+		a.first = o
+		return
+	}
+	if f := a.first; f != nil {
+		a.first = nil
+		a.rootOp = f.RootOp
+		a.jobs = map[string]bool{}
+		a.users = map[string]bool{}
+		a.inputs = map[string]bool{}
+		a.tags = map[string]bool{}
+		a.designs = map[string]*designTally{}
+		a.foldObs(f, cfg)
+	}
+	a.foldObs(o, cfg)
+}
+
+// foldObs is the per-occurrence fold body — the exact statement sequence
+// of the serial aggregate loop.
+func (a *candidateAccumulator) foldObs(o *workload.Observation, cfg *Config) {
+	a.jobs[o.Job.JobID] = true
+	a.users[o.Job.User] = true
+	for _, in := range o.Inputs {
+		a.inputs[in] = true
+		a.tags[in] = true
+	}
+	a.tags[o.Job.TemplateID] = true
+	oc := o.CumulativeCost
+	if cfg.UseEstimates && cfg.EstimateCost != nil {
+		oc = cfg.EstimateCost(*o)
+	}
+	a.cost += oc
+	a.lat += o.Latency
+	a.rows += float64(o.Rows)
+	a.bytes += float64(o.Bytes)
+	if o.JobCPU > 0 {
+		a.ratio += oc / o.JobCPU
+	}
+	tallyDesign(a.designs, o.Props)
+}
+
+// finalize renders the accumulated statistics as a Candidate, mirroring
+// the serial aggregate's per-group epilogue. Only promoted accumulators
+// (freq ≥ 2) may be finalized.
+func (a *candidateAccumulator) finalize(sig string, periods map[string]int64) Candidate {
+	c := Candidate{NormSig: sig, Frequency: a.freq, RootOp: a.rootOp}
+	n := float64(a.freq)
+	c.AvgCost = a.cost / n
+	c.AvgLatency = a.lat / n
+	c.AvgRuntime = c.AvgLatency
+	c.AvgRows = a.rows / n
+	c.AvgBytes = a.bytes / n
+	c.CostRatio = a.ratio / n
+	c.ReadCost = exec.OperatorCost(plan.OpViewScan, 0, int64(c.AvgRows), int64(c.AvgBytes))
+	saving := c.AvgCost - c.ReadCost
+	if saving < 0 {
+		saving = 0
+	}
+	c.Utility = float64(c.Frequency-1) * saving
+	c.JobCount = len(a.jobs)
+	c.UserCount = len(a.users)
+	c.Jobs = sortedKeys(a.jobs)
+	c.Inputs = sortedKeys(a.inputs)
+	c.Tags = sortedKeys(a.tags)
+	c.Props, c.MultiDesign = electFromTally(a.designs)
+	c.ExpiryDelta = expiryFromLineage(c.Inputs, periods)
+	return c
+}
+
+// aggregateSharded mines candidates from the snapshot in parallel: each
+// worker walks the full snapshot in record order, folds the observations
+// whose shard it owns into per-signature accumulators, and finalizes its
+// overlaps. Because a signature's every occurrence hashes to one shard and
+// shard ranges partition the shard space, each signature is folded by
+// exactly one worker in record order — the serial fold order — and the
+// merged, utility-sorted candidate list is byte-identical to the serial
+// aggregate. Also returns the distinct-job and in-scope observation counts
+// the workers tally for free along the way.
+func aggregateSharded(obs []workload.Observation, shards []uint8, periods map[string]int64, cfg Config) (cands []Candidate, totalJobs, totalSubgraphs int) {
+	workers := foldWorkers(len(obs))
+	type workerOut struct {
+		cands []Candidate
+		jobs  map[string]bool
+		count int
+	}
+	outs := make([]workerOut, workers)
+	runWorkers(workers, func(w int) {
+		lo, hi := workerShardRange(w, workers)
+		accs := map[string]*candidateAccumulator{}
+		jobs := map[string]bool{}
+		count := 0
+		for i := range obs {
+			if s := shards[i]; s < lo || s >= hi {
+				continue
+			}
+			o := &obs[i]
+			count++
+			jobs[o.Job.JobID] = true
+			acc := accs[o.NormSig]
+			if acc == nil {
+				acc = &candidateAccumulator{}
+				accs[o.NormSig] = acc
+			}
+			acc.fold(o, &cfg)
+		}
+		var out []Candidate
+		for sig, acc := range accs {
+			if acc.freq < 2 {
+				continue // not an overlap
+			}
+			out = append(out, acc.finalize(sig, periods))
+		}
+		outs[w] = workerOut{cands: out, jobs: jobs, count: count}
+	})
+
+	allJobs := map[string]bool{}
+	for _, wo := range outs {
+		cands = append(cands, wo.cands...)
+		totalSubgraphs += wo.count
+		for j := range wo.jobs {
+			allJobs[j] = true
+		}
+	}
+	totalJobs = len(allJobs)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Utility != cands[j].Utility {
+			return cands[i].Utility > cands[j].Utility
+		}
+		return cands[i].NormSig < cands[j].NormSig
+	})
+	return cands, totalJobs, totalSubgraphs
+}

@@ -7,8 +7,8 @@
 package analyzer
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"cloudviews/internal/exec"
 	"cloudviews/internal/metadata"
@@ -143,13 +143,52 @@ func New(repo *workload.Repository) *Analyzer {
 	return &Analyzer{Repo: repo}
 }
 
-// Analyze runs the full pipeline: enumerate → aggregate → filter → select
-// → annotate → order.
-func (a *Analyzer) Analyze(cfg Config) *Analysis {
-	from, to := cfg.WindowFrom, cfg.WindowTo
+// analysisWindow resolves the configured window; zero values with
+// WindowTo==0 mean "everything".
+func analysisWindow(cfg Config) (from, to int64) {
+	from, to = cfg.WindowFrom, cfg.WindowTo
 	if to == 0 {
 		to = 1<<62 - 1
 	}
+	return from, to
+}
+
+// Analyze runs the full pipeline — enumerate → aggregate → filter →
+// select → annotate → order — as a parallel, sharded, streaming fold:
+// observations are scanned off one zero-copy repository snapshot, sharded
+// by the top bits of the normalized-signature hash, and folded by
+// GOMAXPROCS workers into per-candidate accumulators of running sums, so
+// peak memory scales with the number of candidates rather than with
+// materialized observation groups. The output is byte-identical to the
+// serial reference walk (Serial): every signature's statistics fold in
+// repository order inside exactly one worker, and every ordering the
+// pipeline emits is a total order (see DESIGN.md §12).
+func (a *Analyzer) Analyze(cfg Config) *Analysis {
+	from, to := analysisWindow(cfg)
+	obs := a.Repo.Snapshot()
+	shards := shardObservations(obs, from, to, &cfg)
+
+	an := &Analysis{WindowFrom: from, WindowTo: to}
+	periods := a.Repo.InputPeriods()
+	an.Candidates, an.TotalJobs, an.TotalSubgraphs = aggregateSharded(obs, shards, periods, cfg)
+	an.Selected = selectViews(an.Candidates, cfg, true)
+	an.Annotations = annotate(an.Selected)
+	an.JobOrder = coordinate(an.Selected, func(fn func(o *workload.Observation)) {
+		for i := range obs {
+			if shards[i] != shardSkip {
+				fn(&obs[i])
+			}
+		}
+	})
+	return an
+}
+
+// Serial is the single-threaded reference walk — the pre-scale-out
+// analyzer, kept verbatim as the golden oracle the parallel Analyze is
+// diffed against. It materializes the windowed copy, the scoped copy, and
+// the per-signature observation groups that Analyze streams past.
+func (a *Analyzer) Serial(cfg Config) *Analysis {
+	from, to := analysisWindow(cfg)
 	obs := a.Repo.Window(from, to)
 	obs = filterScope(obs, cfg)
 
@@ -162,14 +201,20 @@ func (a *Analyzer) Analyze(cfg Config) *Analysis {
 
 	periods := a.Repo.InputPeriods()
 	an.Candidates = aggregate(obs, periods, cfg)
-	selected := selectViews(an.Candidates, cfg)
+	selected := selectViews(an.Candidates, cfg, false)
 	an.Selected = selected
 	an.Annotations = annotate(selected)
-	an.JobOrder = coordinate(selected, obs)
+	an.JobOrder = coordinate(selected, func(fn func(o *workload.Observation)) {
+		for i := range obs {
+			fn(&obs[i])
+		}
+	})
 	return an
 }
 
-func filterScope(obs []workload.Observation, cfg Config) []workload.Observation {
+// scopeMatch reports whether the observation passes the Clusters /
+// BusinessUnits / VCs admin filters.
+func scopeMatch(o *workload.Observation, cfg *Config) bool {
 	match := func(v string, allow []string) bool {
 		if len(allow) == 0 {
 			return true
@@ -181,12 +226,21 @@ func filterScope(obs []workload.Observation, cfg Config) []workload.Observation 
 		}
 		return false
 	}
-	var out []workload.Observation
-	for _, o := range obs {
-		if match(o.Job.Cluster, cfg.Clusters) &&
-			match(o.Job.BusinessUnit, cfg.BusinessUnits) &&
-			match(o.Job.VC, cfg.VCs) {
-			out = append(out, o)
+	return match(o.Job.Cluster, cfg.Clusters) &&
+		match(o.Job.BusinessUnit, cfg.BusinessUnits) &&
+		match(o.Job.VC, cfg.VCs)
+}
+
+func filterScope(obs []workload.Observation, cfg Config) []workload.Observation {
+	if len(cfg.Clusters) == 0 && len(cfg.BusinessUnits) == 0 && len(cfg.VCs) == 0 {
+		// Nothing to filter: every observation passes, so the input can be
+		// returned as-is instead of copied.
+		return obs
+	}
+	out := make([]workload.Observation, 0, len(obs))
+	for i := range obs {
+		if scopeMatch(&obs[i], &cfg) {
+			out = append(out, obs[i])
 		}
 	}
 	return out
@@ -261,23 +315,37 @@ func aggregate(obs []workload.Observation, periods map[string]int64, cfg Config)
 	return out
 }
 
+// designTally counts occurrences of one physical design.
+type designTally struct {
+	props plan.PhysicalProps
+	count int
+}
+
 // electDesign picks the most popular output physical design among the
 // occurrences (§5.3). It reports whether multiple designs were in play.
 func electDesign(g []workload.Observation) (plan.PhysicalProps, bool) {
-	type bucket struct {
-		props plan.PhysicalProps
-		count int
-	}
-	counts := map[string]*bucket{}
+	counts := map[string]*designTally{}
 	for _, o := range g {
-		key := designKey(o.Props)
-		if b, ok := counts[key]; ok {
-			b.count++
-		} else {
-			counts[key] = &bucket{props: o.Props, count: 1}
-		}
+		tallyDesign(counts, o.Props)
 	}
-	var best *bucket
+	return electFromTally(counts)
+}
+
+// tallyDesign folds one occurrence's design into the tally.
+func tallyDesign(counts map[string]*designTally, props plan.PhysicalProps) {
+	key := designKey(props)
+	if b, ok := counts[key]; ok {
+		b.count++
+	} else {
+		counts[key] = &designTally{props: props, count: 1}
+	}
+}
+
+// electFromTally resolves the election: highest count wins, ties broken by
+// the smaller design key — a total order, so the winner is independent of
+// map iteration order (and of which fold path built the tally).
+func electFromTally(counts map[string]*designTally) (plan.PhysicalProps, bool) {
+	var best *designTally
 	var bestKey string
 	for k, b := range counts {
 		if best == nil || b.count > best.count || (b.count == best.count && k < bestKey) {
@@ -287,8 +355,45 @@ func electDesign(g []workload.Observation) (plan.PhysicalProps, bool) {
 	return best.props, len(counts) > 1
 }
 
+// designKey renders a physical design as a comparable string. The format
+// is pinned — election ties break on it — and matches what
+// fmt.Sprintf("%v|%v|%d|%v|%v", ...) produced before this append-based
+// version removed the fmt overhead from the per-observation fold path
+// (a designKeyReference test holds the two together).
 func designKey(p plan.PhysicalProps) string {
-	return fmt.Sprintf("%v|%v|%d|%v|%v", p.Part.Kind, p.Part.Cols, p.Part.Count, p.Sort.Cols, p.Sort.Desc)
+	var buf [64]byte
+	b := append(buf[:0], p.Part.Kind.String()...)
+	b = append(b, '|')
+	b = appendIntSlice(b, p.Part.Cols)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(p.Part.Count), 10)
+	b = append(b, '|')
+	b = appendIntSlice(b, p.Sort.Cols)
+	b = append(b, '|')
+	b = appendBoolSlice(b, p.Sort.Desc)
+	return string(b)
+}
+
+func appendIntSlice(dst []byte, xs []int) []byte {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(x), 10)
+	}
+	return append(dst, ']')
+}
+
+func appendBoolSlice(dst []byte, xs []bool) []byte {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendBool(dst, x)
+	}
+	return append(dst, ']')
 }
 
 // expiryFromLineage returns the view lifetime: the longest recurrence
@@ -304,8 +409,13 @@ func expiryFromLineage(inputs []string, periods map[string]int64) int64 {
 	return maxP + 1
 }
 
-// selectViews applies the admin filters and the selection strategy.
-func selectViews(cands []Candidate, cfg Config) []Candidate {
+// selectViews applies the admin filters and the selection strategy. With
+// bounded set, the density strategies replace their full pool sort with a
+// TopK-bounded heap whenever no selection-stage skip (MaxPerJob, storage
+// budget) can consume more than the k densest candidates; the serial
+// reference passes bounded=false so the golden diff pins the heap against
+// the full sort.
+func selectViews(cands []Candidate, cfg Config, bounded bool) []Candidate {
 	var pool []Candidate
 	for _, c := range cands {
 		if cfg.MinFrequency > 0 && c.Frequency < cfg.MinFrequency {
@@ -326,13 +436,17 @@ func selectViews(cands []Candidate, cfg Config) []Candidate {
 
 	switch cfg.Strategy {
 	case TopKUtilityPerByte, PackStorageBudget:
-		sort.Slice(pool, func(i, j int) bool {
-			di, dj := density(pool[i]), density(pool[j])
-			if di != dj {
-				return di > dj
-			}
-			return pool[i].NormSig < pool[j].NormSig
-		})
+		if bounded && cfg.TopK > 0 && cfg.MaxPerJob != 1 &&
+			!(cfg.Strategy == PackStorageBudget && cfg.StorageBudget > 0) {
+			// The selection loop below takes the first TopK of the sorted
+			// pool verbatim (no skips are configured), so the k best under
+			// the density order are all it can ever see.
+			pool = topKByDensity(pool, cfg.TopK)
+		} else {
+			sort.Slice(pool, func(i, j int) bool {
+				return denseBefore(pool[i], pool[j])
+			})
+		}
 	case PackStorageBudgetOptimal:
 		pool = packOptimal(pool, cfg.StorageBudget)
 	default:
@@ -369,6 +483,17 @@ func density(c Candidate) float64 {
 	return c.Utility / c.AvgBytes
 }
 
+// denseBefore is the density-strategy sort order: density descending, ties
+// by NormSig ascending. NormSig is unique per candidate, so this is a
+// total order — what makes heap selection reproduce the full sort exactly.
+func denseBefore(a, b Candidate) bool {
+	da, db := density(a), density(b)
+	if da != db {
+		return da > db
+	}
+	return a.NormSig < b.NormSig
+}
+
 func anyUsed(jobs []string, used map[string]bool) bool {
 	for _, j := range jobs {
 		if used[j] {
@@ -396,12 +521,20 @@ func annotate(selected []Candidate) []metadata.Annotation {
 	return out
 }
 
+// obsStream invokes fn once per in-scope observation, in repository
+// record order. It abstracts where the observations live: the serial walk
+// streams its materialized scoped slice, the parallel pipeline streams the
+// repository snapshot through its precomputed shard filter.
+type obsStream func(fn func(o *workload.Observation))
+
 // coordinate produces the job submission order of §6.5: per selected view,
 // jobs containing it form a group; the group's builder is its shortest job
 // (ties broken by fewer overlaps, then ID). Deduplicated builders run
 // first — ordered by runtime, ties by overlap count — so each view is
-// built exactly once before its consumers arrive.
-func coordinate(selected []Candidate, obs []workload.Observation) []string {
+// built exactly once before its consumers arrive. Both maps it folds are
+// order-insensitive (max and count), so any stream over the same
+// observation set yields the same order.
+func coordinate(selected []Candidate, stream obsStream) []string {
 	if len(selected) == 0 {
 		return nil
 	}
@@ -411,14 +544,14 @@ func coordinate(selected []Candidate, obs []workload.Observation) []string {
 	for _, c := range selected {
 		selectedSigs[c.NormSig] = true
 	}
-	for _, o := range obs {
+	stream(func(o *workload.Observation) {
 		if o.JobLatency > jobRuntime[o.Job.JobID] {
 			jobRuntime[o.Job.JobID] = o.JobLatency
 		}
 		if selectedSigs[o.NormSig] {
 			jobOverlaps[o.Job.JobID]++
 		}
-	}
+	})
 	builderSet := map[string]bool{}
 	for _, c := range selected {
 		best := ""

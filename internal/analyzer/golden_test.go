@@ -1,0 +1,247 @@
+package analyzer
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"cloudviews/internal/plan"
+	"cloudviews/internal/workgen"
+	"cloudviews/internal/workload"
+)
+
+// forceWorkers raises GOMAXPROCS for the duration of the test so the
+// multi-worker fold and merge paths run even on a single-CPU machine —
+// goroutines still interleave, so the concurrent shape is real.
+func forceWorkers(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// goldenProfiles are three workload shapes spanning the overlap spectrum:
+// the default mid-overlap cluster, a bespoke low-overlap cluster, and a
+// clone-heavy duplicate-ridden one.
+func goldenProfiles() []workgen.Profile {
+	p1 := workgen.DefaultProfile("gold1", 11)
+	p2 := workgen.DefaultProfile("gold2", 22)
+	p2.CloneRate = 0.15
+	p2.UniqueInputRate = 0.9
+	p2.Templates = 60
+	p3 := workgen.DefaultProfile("gold3", 33)
+	p3.CloneRate = 0.9
+	p3.DuplicateJobRate = 0.3
+	p3.Templates = 80
+	return []workgen.Profile{p1, p2, p3}
+}
+
+func goldenRepo(t testing.TB, p workgen.Profile, minObs int) *workload.Repository {
+	t.Helper()
+	obs := workgen.Generate(p).SyntheticUntil(minObs)
+	if len(obs) < minObs {
+		t.Fatalf("profile %s: generated %d observations, want >= %d", p.Name, len(obs), minObs)
+	}
+	repo := workload.NewRepository()
+	repo.Append(obs...)
+	return repo
+}
+
+// goldenConfigs exercises every Strategy and every admin knob, including
+// the combinations that steer selectViews between the bounded heap and the
+// full sort, scoped runs, windowed runs, and the estimates ablation.
+func goldenConfigs(cluster string) []Config {
+	return []Config{
+		{},
+		{Strategy: TopKUtility, TopK: 5},
+		{Strategy: TopKUtility, TopK: 5, MaxPerJob: 1},
+		{Strategy: TopKUtilityPerByte, TopK: 8},
+		{Strategy: TopKUtilityPerByte, TopK: 8, MaxPerJob: 1},
+		{Strategy: TopKUtilityPerByte},
+		{Strategy: PackStorageBudget, TopK: 6},
+		{Strategy: PackStorageBudget, TopK: 6, StorageBudget: 1 << 22},
+		{Strategy: PackStorageBudget, StorageBudget: 1 << 21},
+		{Strategy: PackStorageBudgetOptimal, StorageBudget: 1 << 21},
+		{MinFrequency: 3, MinCostRatio: 0.05, MinRuntime: 10, TopK: 10, Strategy: TopKUtilityPerByte},
+		{WindowFrom: 1, WindowTo: 3},
+		{VCs: []string{"bu1_vc0", "bu2_vc1"}, Strategy: TopKUtilityPerByte, TopK: 4},
+		{Clusters: []string{cluster}, BusinessUnits: []string{"bu0", "bu3"}},
+		{UseEstimates: true, EstimateCost: func(o workload.Observation) float64 { return float64(o.Rows) * 0.5 }},
+	}
+}
+
+// TestAnalyzerGolden pins the parallel sharded pipeline to the serial
+// reference: for every profile and config, Analyze must equal Serial on
+// every field — candidate order, selection, annotations, job order, and
+// every float bit in between.
+func TestAnalyzerGolden(t *testing.T) {
+	forceWorkers(t)
+	for pi, p := range goldenProfiles() {
+		minObs := 6000
+		if pi == 0 {
+			// One profile comfortably above minParallelObs even after
+			// windowing, so the multi-worker path is really exercised.
+			minObs = 12000
+		}
+		repo := goldenRepo(t, p, minObs)
+		a := New(repo)
+		for ci, cfg := range goldenConfigs(p.Name) {
+			want := a.Serial(cfg)
+			got := a.Analyze(cfg)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("profile %s config %d: parallel Analyze diverges from Serial\nserial:   %+v\nparallel: %+v",
+					p.Name, ci, summary(want), summary(got))
+			}
+		}
+	}
+}
+
+func summary(an *Analysis) string {
+	return fmt.Sprintf("jobs=%d subs=%d cands=%d selected=%d anns=%d order=%v",
+		an.TotalJobs, an.TotalSubgraphs, len(an.Candidates), len(an.Selected),
+		len(an.Annotations), an.JobOrder)
+}
+
+// TestOverlapStatsGolden pins the sharded statistics fold to the serial
+// reference over the same profile/config matrix, plus the public
+// ComputeOverlapStats entry point and the empty input.
+func TestOverlapStatsGolden(t *testing.T) {
+	forceWorkers(t)
+	for _, p := range goldenProfiles() {
+		repo := goldenRepo(t, p, 6000)
+		a := New(repo)
+		for ci, cfg := range goldenConfigs(p.Name) {
+			from, to := analysisWindow(cfg)
+			want := computeOverlapStatsSerial(filterScope(repo.Window(from, to), cfg))
+			got := a.OverlapStats(cfg)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("profile %s config %d: sharded OverlapStats diverges from serial", p.Name, ci)
+			}
+		}
+		obs := repo.Observations()
+		if want, got := computeOverlapStatsSerial(obs), ComputeOverlapStats(obs); !reflect.DeepEqual(want, got) {
+			t.Errorf("profile %s: ComputeOverlapStats diverges from serial", p.Name)
+		}
+	}
+	if want, got := computeOverlapStatsSerial(nil), ComputeOverlapStats(nil); !reflect.DeepEqual(want, got) {
+		t.Errorf("empty input: ComputeOverlapStats = %+v, serial = %+v", got, want)
+	}
+}
+
+// TestAnalyzerConcurrent runs Analyze and OverlapStats from several
+// goroutines while Append keeps growing the repository — the race-detector
+// companion to the Snapshot aliasing contract.
+func TestAnalyzerConcurrent(t *testing.T) {
+	forceWorkers(t)
+	p := workgen.DefaultProfile("conc", 7)
+	obs := workgen.Generate(p).SyntheticUntil(9000)
+	repo := workload.NewRepository()
+	repo.Append(obs[:4500]...)
+	a := New(repo)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 4500; i < len(obs); i += 500 {
+			end := i + 500
+			if end > len(obs) {
+				end = len(obs)
+			}
+			repo.Append(obs[i:end]...)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := Config{Strategy: Strategy(g % 3), TopK: 5 + g}
+			for i := 0; i < 3; i++ {
+				an := a.Analyze(cfg)
+				if an.TotalSubgraphs < 4500 {
+					t.Errorf("goroutine %d: analysis saw %d subgraphs, want >= 4500", g, an.TotalSubgraphs)
+				}
+				st := a.OverlapStats(cfg)
+				if st.TotalOccurrences < 4500 {
+					t.Errorf("goroutine %d: stats saw %d occurrences, want >= 4500", g, st.TotalOccurrences)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles the result must match a serial run over the
+	// complete repository.
+	cfg := Config{Strategy: TopKUtilityPerByte, TopK: 10}
+	if want, got := a.Serial(cfg), a.Analyze(cfg); !reflect.DeepEqual(want, got) {
+		t.Errorf("post-concurrency analysis diverges from serial")
+	}
+}
+
+// TestTopKByDensity pins the bounded heap against the full sort it
+// replaces, across random pools and every cut point.
+func TestTopKByDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		pool := make([]Candidate, n)
+		for i := range pool {
+			pool[i] = Candidate{
+				NormSig:  fmt.Sprintf("sig%04d", rng.Intn(1000)),
+				Utility:  float64(rng.Intn(50)), // duplicates force tie-breaks
+				AvgBytes: float64(rng.Intn(5)),  // zeros hit the bytes<=0 branch
+			}
+		}
+		want := append([]Candidate(nil), pool...)
+		sort.Slice(want, func(i, j int) bool { return denseBefore(want[i], want[j]) })
+		k := 1 + rng.Intn(n+2)
+		if k < len(want) {
+			want = want[:k]
+		}
+		got := topKByDensity(append([]Candidate(nil), pool...), k)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (n=%d k=%d): heap top-k != sort prefix\nwant %v\ngot  %v", trial, n, k, want, got)
+		}
+	}
+}
+
+// TestDesignKeyReference pins the append-based designKey to the fmt format
+// it replaced — election tie-breaks compare these strings.
+func TestDesignKeyReference(t *testing.T) {
+	cases := []plan.PhysicalProps{
+		{},
+		{Part: plan.Partitioning{Kind: plan.PartHash, Cols: []int{0, 3}, Count: 16}},
+		{Part: plan.Partitioning{Kind: plan.PartRange, Cols: []int{2}, Count: 8},
+			Sort: plan.SortOrder{Cols: []int{2, 1}, Desc: []bool{true, false}}},
+		{Sort: plan.SortOrder{Cols: []int{0}, Desc: []bool{false}}},
+	}
+	for _, p := range cases {
+		want := fmt.Sprintf("%v|%v|%d|%v|%v", p.Part.Kind, p.Part.Cols, p.Part.Count, p.Sort.Cols, p.Sort.Desc)
+		if got := designKey(p); got != want {
+			t.Errorf("designKey(%+v) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+// TestFilterScopeAliasing pins filterScope's zero-copy fast path: an
+// unscoped config returns the input slice itself, a scoped one a fresh
+// slice.
+func TestFilterScopeAliasing(t *testing.T) {
+	obs := []workload.Observation{
+		{Job: workload.JobMeta{JobID: "a", VC: "vc1"}},
+		{Job: workload.JobMeta{JobID: "b", VC: "vc2"}},
+	}
+	if got := filterScope(obs, Config{}); len(got) != 2 || &got[0] != &obs[0] {
+		t.Errorf("unscoped filterScope should alias its input")
+	}
+	got := filterScope(obs, Config{VCs: []string{"vc2"}})
+	if len(got) != 1 || got[0].Job.JobID != "b" {
+		t.Fatalf("scoped filterScope = %v", got)
+	}
+	if &got[0] == &obs[0] || &got[0] == &obs[1] {
+		t.Errorf("scoped filterScope must copy")
+	}
+}

@@ -18,10 +18,11 @@ func packOptimal(pool []Candidate, budget int64) []Candidate {
 	if budget <= 0 || len(pool) == 0 {
 		return nil
 	}
-	if len(pool) > packOptimalMaxCandidates {
-		pool = pool[:packOptimalMaxCandidates]
-	}
-	// Work in density order; skip candidates that can never fit.
+	// Work in density order; skip candidates that can never fit. The cap is
+	// applied only AFTER the density sort: capping the incoming pool (which
+	// arrives in utility order, or in whatever order a caller built it)
+	// would truncate to an arbitrary prefix and silently drop the dense
+	// candidates an optimal packing is made of.
 	items := make([]Candidate, 0, len(pool))
 	for _, c := range pool {
 		if int64(c.AvgBytes) <= budget {
@@ -35,6 +36,9 @@ func packOptimal(pool []Candidate, budget int64) []Candidate {
 		}
 		return items[i].NormSig < items[j].NormSig
 	})
+	if len(items) > packOptimalMaxCandidates {
+		items = items[:packOptimalMaxCandidates]
+	}
 
 	best := make([]bool, len(items))
 	cur := make([]bool, len(items))

@@ -1,0 +1,41 @@
+package analyzer
+
+import "testing"
+
+// TestPackOptimalCapKeepsDensestCandidates is the regression test for the
+// candidate-cap ordering bug: the safety cap used to truncate the incoming
+// pool (utility order) BEFORE sorting by density, so a large pool whose
+// densest candidates sat past the cap index lost them before the solver
+// ever saw them. The cap must apply to the density-sorted, budget-fitting
+// items.
+func TestPackOptimalCapKeepsDensestCandidates(t *testing.T) {
+	const budget = 100
+	// 52 bulky candidates lead the pool in utility order — each fits the
+	// budget alone (so the fit filter keeps them) but at density ~1.1.
+	var pool []Candidate
+	for i := 0; i < 52; i++ {
+		pool = append(pool, mkCand(i, 100, 90))
+	}
+	// The 8 truly dense candidates sit past the old cap index (48).
+	for i := 52; i < 60; i++ {
+		pool = append(pool, mkCand(i, 90, 10))
+	}
+
+	got := packOptimal(pool, budget)
+	if b := totalBytes(got); b > budget {
+		t.Fatalf("packing uses %d bytes, budget %d", b, budget)
+	}
+	// Optimal is the 8 dense candidates (80 bytes, utility 720); any
+	// pre-sort truncation caps utility at a single bulky candidate (100).
+	if u := totalUtil(got); u < 720 {
+		t.Errorf("total utility %.0f, want >= 720 (cap dropped the dense candidates)", u)
+	}
+	if len(got) != 8 {
+		t.Errorf("selected %d candidates, want the 8 dense ones", len(got))
+	}
+	for _, c := range got {
+		if c.AvgBytes != 10 {
+			t.Errorf("selected non-dense candidate %s (bytes %.0f)", c.NormSig, c.AvgBytes)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package analyzer
+
+import "sort"
+
+// topKByDensity returns the k best candidates under denseBefore, sorted by
+// it — exactly the first k elements a full denseBefore sort of pool would
+// produce, found in O(n log k) with a k-bounded min-heap instead of
+// O(n log n). denseBefore is a total order (NormSig breaks ties), so the
+// top-k set is unique and the equivalence is exact, not approximate.
+// pool is consumed: the result reuses its backing array.
+func topKByDensity(pool []Candidate, k int) []Candidate {
+	if k >= len(pool) {
+		sort.Slice(pool, func(i, j int) bool {
+			return denseBefore(pool[i], pool[j])
+		})
+		return pool
+	}
+	// Min-heap of the k best seen so far, with the WORST of them at the
+	// root: a candidate beats the field only if it sorts before the root.
+	h := pool[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDensity(h, i)
+	}
+	for _, c := range pool[k:] {
+		if denseBefore(c, h[0]) {
+			h[0] = c
+			siftDensity(h, 0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool {
+		return denseBefore(h[i], h[j])
+	})
+	return h
+}
+
+// siftDensity restores the heap property below i: every parent sorts
+// after (is worse than) its children under denseBefore.
+func siftDensity(h []Candidate, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && denseBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && denseBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

@@ -457,12 +457,12 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 		// Stamp the absolute expiry (instance units) into the file.
 		v.ExpiresAt = spec.Meta.Instance + intent.ExpiryDelta
 		info := metadata.ViewInfo{
-			PreciseSig:    v.PreciseSig,
-			NormSig:       v.NormSig,
-			Path:          v.Path,
-			Schema:        v.Schema,
-			Props:         v.Props,
-			Rows: v.Rows,
+			PreciseSig: v.PreciseSig,
+			NormSig:    v.NormSig,
+			Path:       v.Path,
+			Schema:     v.Schema,
+			Props:      v.Props,
+			Rows:       v.Rows,
 			// Bytes is the logical (row-representation) size the cost model
 			// prices a view scan on; EncodedBytes is the smaller at-rest
 			// columnar footprint storage actually holds.
@@ -550,11 +550,19 @@ func outputsEqual(a, b *exec.Result) error {
 }
 
 // RunAnalyzer executes the CloudViews analyzer over the workload
-// repository and loads the resulting annotations into the metadata
-// service. It returns the analysis for reporting.
+// repository and installs the resulting annotations into the metadata
+// service — one bulk swap either way. An unscoped run replaces the whole
+// annotation set (LoadAnalysis); a scoped run (cluster/BU/VC filters) saw
+// only its slice of the workload, so its output is merged with SaveAll
+// rather than clobbering the annotations other scopes are serving. It
+// returns the analysis for reporting.
 func (s *Service) RunAnalyzer(cfg analyzer.Config) *analyzer.Analysis {
 	an := analyzer.New(s.Repo).Analyze(cfg)
-	s.Meta.LoadAnalysis(an.Annotations)
+	if len(cfg.Clusters)+len(cfg.BusinessUnits)+len(cfg.VCs) > 0 {
+		s.Meta.SaveAll(an.Annotations)
+	} else {
+		s.Meta.LoadAnalysis(an.Annotations)
+	}
 	return an
 }
 

@@ -80,7 +80,7 @@ func TestRatesApproximate(t *testing.T) {
 	const n = 4000
 	fired := 0
 	for i := 0; i < n; i++ {
-		if in.ReadView("/views/sig/" + string(rune('a'+i%26)) + ".ss") != nil {
+		if in.ReadView("/views/sig/"+string(rune('a'+i%26))+".ss") != nil {
 			fired++
 		}
 	}

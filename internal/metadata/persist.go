@@ -136,9 +136,7 @@ func Restore(r io.Reader) (*Service, error) {
 	}
 	s := NewService()
 	s.LoadAnalysis(anns)
-	for _, v := range views {
-		s.ReportMaterialized(v)
-	}
+	s.installViews(views)
 	for _, vc := range vcs {
 		s.SetOfflineVC(vc, true)
 	}

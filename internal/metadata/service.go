@@ -58,12 +58,12 @@ type Annotation struct {
 
 // ViewInfo describes a materialized, available view.
 type ViewInfo struct {
-	PreciseSig    string
-	NormSig       string
-	Path          string
-	Schema data.Schema
-	Props  plan.PhysicalProps
-	Rows   int64
+	PreciseSig string
+	NormSig    string
+	Path       string
+	Schema     data.Schema
+	Props      plan.PhysicalProps
+	Rows       int64
 	// Bytes is the view's logical (row-representation) size — what a
 	// consumer materializes when scanning it, and what the optimizer's
 	// reuse cost model prices.
@@ -85,10 +85,10 @@ type buildLock struct {
 // fresh maps (sharing only whole sub-structures that did not change) and
 // install the new generation with one atomic pointer swap.
 type state struct {
-	annotations map[string]*Annotation  // by normalized signature
+	annotations map[string]*Annotation   // by normalized signature
 	tagAnns     map[string][]*Annotation // tag -> annotations, sorted by NormSig
-	views       map[string]*ViewInfo    // by precise signature
-	offlineVCs  map[string]bool         // VCs configured for offline materialization (§6.2)
+	views       map[string]*ViewInfo     // by precise signature
+	offlineVCs  map[string]bool          // VCs configured for offline materialization (§6.2)
 }
 
 var emptyState = &state{
@@ -165,32 +165,65 @@ func (s *Service) SetOfflineVC(vc string, offline bool) {
 	s.cur.Store(st)
 }
 
+// buildTagIndex derives the inverted tag index from an annotation map,
+// pre-sorting each tag's list so RelevantViews can merge without sorting
+// or deduplicating per call.
+func buildTagIndex(annotations map[string]*Annotation) map[string][]*Annotation {
+	tagAnns := make(map[string][]*Annotation)
+	for _, a := range annotations {
+		for _, tag := range a.Tags {
+			tagAnns[tag] = append(tagAnns[tag], a)
+		}
+	}
+	for _, list := range tagAnns {
+		sort.Slice(list, func(i, j int) bool { return list[i].NormSig < list[j].NormSig })
+	}
+	return tagAnns
+}
+
 // LoadAnalysis installs the analyzer's output, replacing all previous
 // annotations and rebuilding the inverted tag index. Materialized views
 // and in-flight locks are preserved: reloading analysis must not orphan
 // views that jobs are already using.
 func (s *Service) LoadAnalysis(anns []Annotation) {
 	annotations := make(map[string]*Annotation, len(anns))
-	tagAnns := make(map[string][]*Annotation)
 	for i := range anns {
 		a := anns[i]
 		annotations[a.NormSig] = &a
 	}
-	for _, a := range annotations {
-		for _, tag := range a.Tags {
-			tagAnns[tag] = append(tagAnns[tag], a)
-		}
-	}
-	// Pre-sort each tag's list so RelevantViews can merge without sorting
-	// or deduplicating per call.
-	for _, list := range tagAnns {
-		sort.Slice(list, func(i, j int) bool { return list[i].NormSig < list[j].NormSig })
-	}
+	tagAnns := buildTagIndex(annotations)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.cur.Load().clone()
 	st.annotations = annotations
 	st.tagAnns = tagAnns
+	s.cur.Store(st)
+}
+
+// SaveAll upserts a batch of annotations — one tag-index rebuild and one
+// state swap for the whole batch, not one per annotation. Unlike
+// LoadAnalysis it merges: existing annotations whose signatures are not in
+// the batch survive. This is the install path for scoped analyzer runs
+// (per-cluster or per-VC configs), whose output covers only the scoped
+// slice of the workload and must not clobber the annotations other scopes
+// are serving.
+func (s *Service) SaveAll(anns []Annotation) {
+	if len(anns) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load().clone()
+	annotations := make(map[string]*Annotation, len(st.annotations)+len(anns))
+	for k, v := range st.annotations {
+		annotations[k] = v
+	}
+	for i := range anns {
+		a := anns[i]
+		annotations[a.NormSig] = &a
+	}
+	st.annotations = annotations
+	st.tagAnns = buildTagIndex(annotations)
 	s.cur.Store(st)
 }
 
@@ -320,6 +353,26 @@ func (s *Service) ReportMaterialized(v ViewInfo) {
 	views := copyViews(st.views)
 	vv := v
 	views[v.PreciseSig] = &vv
+	st.views = views
+	s.cur.Store(st)
+}
+
+// installViews publishes a batch of views with one map copy and one state
+// swap — the bulk path behind Restore, which previously paid a full
+// copy-on-write clone per view (quadratic in catalog size).
+func (s *Service) installViews(vs []ViewInfo) {
+	if len(vs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load().clone()
+	views := copyViews(st.views)
+	for i := range vs {
+		v := vs[i]
+		delete(s.locks, v.PreciseSig)
+		views[v.PreciseSig] = &v
+	}
 	st.views = views
 	s.cur.Store(st)
 }

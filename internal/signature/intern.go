@@ -57,6 +57,18 @@ func InternBytes(b []byte) string {
 	return s
 }
 
+// Hash64 returns the 64-bit FNV-1a hash of s. Signature-keyed parallel
+// structures (the analyzer's sharded fold) shard by its top bits, so the
+// whole hash must be well-mixed — FNV-1a is, and over the 32-byte hex
+// strings signatures intern to it costs a few tens of nanoseconds.
+func Hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
 // Intern returns the canonical instance of s, so equal signature strings
 // arriving from outside the hash path (view scans, metadata annotations)
 // share storage with computed ones.

@@ -61,7 +61,7 @@ func Load(rd io.Reader) (*Repository, error) {
 		return nil, fmt.Errorf("workload: unsupported version %d", h.Version)
 	}
 	repo := NewRepository()
-	jobs := map[string]*JobRecord{}
+	var obs []Observation
 	for {
 		var o Observation
 		if err := dec.Decode(&o); err == io.EOF {
@@ -69,17 +69,8 @@ func Load(rd io.Reader) (*Repository, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("workload: read observation: %w", err)
 		}
-		repo.mu.Lock()
-		idx := len(repo.obs)
-		repo.obs = append(repo.obs, o)
-		rec, ok := jobs[o.Job.JobID]
-		if !ok {
-			rec = &JobRecord{Meta: o.Job, CPU: o.JobCPU, Latency: o.JobLatency}
-			jobs[o.Job.JobID] = rec
-			repo.jobs = append(repo.jobs, rec)
-		}
-		rec.Subgraphs = append(rec.Subgraphs, idx)
-		repo.mu.Unlock()
+		obs = append(obs, o)
 	}
+	repo.Append(obs...)
 	return repo, nil
 }

@@ -160,6 +160,63 @@ func (r *Repository) Window(from, to int64) []Observation {
 	return out
 }
 
+// Snapshot returns a zero-copy view of every observation recorded so far.
+//
+// Aliasing contract: the returned slice aliases repository-internal
+// storage. Recorded observations are immutable — writers only ever append —
+// so the snapshot is a stable, internally consistent generation that stays
+// valid while Record keeps running; callers must treat it as read-only.
+// This is what lets the analyzer's parallel fold run several passes over
+// one consistent generation without copying hundreds of thousands of
+// observations first.
+func (r *Repository) Snapshot() []Observation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.obs
+}
+
+// Scan streams every observation whose job instance lies in [from, to] to
+// fn, in record order, without materializing a windowed copy the way
+// Window does. The *Observation handed to fn is owned by the repository
+// (see Snapshot's aliasing contract): fn must not retain or mutate it
+// past the call. Scan is safe to call concurrently, including from
+// multiple analyzer workers folding the same window.
+func (r *Repository) Scan(from, to int64, fn func(o *Observation)) {
+	obs := r.Snapshot()
+	for i := range obs {
+		if o := &obs[i]; o.Job.Instance >= from && o.Job.Instance <= to {
+			fn(o)
+		}
+	}
+}
+
+// Append ingests already-reconciled observations directly — the offline
+// log-ingestion path: production workload repositories are populated from
+// cluster telemetry as well as live Record calls, and the analyzer's
+// large-workload tests and benchmarks build repositories the same way.
+// Job records are reconstructed in summary form, one per distinct job ID
+// in first-appearance order, exactly as Load does; plans are not part of
+// an ingested observation.
+func (r *Repository) Append(obs ...Observation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byJob := make(map[string]*JobRecord, len(r.jobs))
+	for _, rec := range r.jobs {
+		byJob[rec.Meta.JobID] = rec
+	}
+	for _, o := range obs {
+		idx := len(r.obs)
+		r.obs = append(r.obs, o)
+		rec, ok := byJob[o.Job.JobID]
+		if !ok {
+			rec = &JobRecord{Meta: o.Job, CPU: o.JobCPU, Latency: o.JobLatency}
+			byJob[o.Job.JobID] = rec
+			r.jobs = append(r.jobs, rec)
+		}
+		rec.Subgraphs = append(rec.Subgraphs, idx)
+	}
+}
+
 // NumJobs returns the number of recorded jobs.
 func (r *Repository) NumJobs() int {
 	r.mu.RLock()

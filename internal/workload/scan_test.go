@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func obsFor(job string, instance int64, sig string) Observation {
+	return Observation{
+		Job:     JobMeta{JobID: job, Instance: instance, Period: 1},
+		NormSig: sig,
+		JobCPU:  100,
+	}
+}
+
+// TestScanMatchesWindow pins Scan's streaming walk to the windowed copy it
+// replaces for the analyzer.
+func TestScanMatchesWindow(t *testing.T) {
+	r := NewRepository()
+	r.Append(
+		obsFor("j1", 0, "a"),
+		obsFor("j2", 1, "b"),
+		obsFor("j3", 2, "a"),
+		obsFor("j4", 3, "c"),
+	)
+	for _, win := range [][2]int64{{0, 3}, {1, 2}, {2, 2}, {5, 9}} {
+		want := r.Window(win[0], win[1])
+		var got []Observation
+		r.Scan(win[0], win[1], func(o *Observation) {
+			got = append(got, *o)
+		})
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("window [%d,%d]: Scan = %v, Window = %v", win[0], win[1], got, want)
+		}
+	}
+}
+
+// TestSnapshotAliasesLiveStorage pins the zero-copy contract: Snapshot
+// returns the repository's own slice, and a snapshot taken before more
+// appends still sees a consistent generation.
+func TestSnapshotAliasesLiveStorage(t *testing.T) {
+	r := NewRepository()
+	r.Append(obsFor("j1", 0, "a"), obsFor("j2", 0, "b"))
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	r.Append(obsFor("j3", 1, "c"))
+	if len(snap) != 2 {
+		t.Errorf("old snapshot grew to %d", len(snap))
+	}
+	if snap[0].Job.JobID != "j1" || snap[1].Job.JobID != "j2" {
+		t.Errorf("old snapshot mutated: %v", snap)
+	}
+	if got := r.Snapshot(); len(got) != 3 {
+		t.Errorf("new snapshot len = %d, want 3", len(got))
+	}
+}
+
+// TestAppendBuildsJobRecords pins bulk ingestion: one summary job record
+// per distinct job ID, in first-appearance order, with subgraph indexes
+// and totals — matching what Load reconstructs.
+func TestAppendBuildsJobRecords(t *testing.T) {
+	r := NewRepository()
+	o1 := obsFor("j1", 0, "a")
+	o1.JobCPU, o1.JobLatency = 50, 7
+	r.Append(o1, obsFor("j2", 0, "b"), obsFor("j1", 0, "c"))
+	if r.NumJobs() != 2 {
+		t.Fatalf("NumJobs = %d, want 2", r.NumJobs())
+	}
+	jobs := r.Jobs()
+	if jobs[0].Meta.JobID != "j1" || jobs[1].Meta.JobID != "j2" {
+		t.Fatalf("job order = %s, %s", jobs[0].Meta.JobID, jobs[1].Meta.JobID)
+	}
+	if jobs[0].CPU != 50 || jobs[0].Latency != 7 {
+		t.Errorf("j1 totals = %v/%v, want 50/7", jobs[0].CPU, jobs[0].Latency)
+	}
+	if !reflect.DeepEqual(jobs[0].Subgraphs, []int{0, 2}) {
+		t.Errorf("j1 subgraphs = %v, want [0 2]", jobs[0].Subgraphs)
+	}
+	if !reflect.DeepEqual(jobs[1].Subgraphs, []int{1}) {
+		t.Errorf("j2 subgraphs = %v, want [1]", jobs[1].Subgraphs)
+	}
+	// A later batch extends an existing job's record instead of duplicating.
+	r.Append(obsFor("j2", 1, "d"))
+	jobs = r.Jobs()
+	if r.NumJobs() != 2 || !reflect.DeepEqual(jobs[1].Subgraphs, []int{1, 3}) {
+		t.Errorf("after second batch: jobs=%d j2 subgraphs=%v", r.NumJobs(), jobs[1].Subgraphs)
+	}
+}

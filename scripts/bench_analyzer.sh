@@ -1,0 +1,115 @@
+#!/bin/sh
+# bench_analyzer.sh — run the analyzer scale-out benchmarks and write
+# BENCH_analyzer.json.
+#
+# The analyzer mines the workload repository offline, so its cost scales
+# with repository size, not per-job; the sweep measures the end-to-end
+# parallel pipeline (Analyze), the aggregation fold, and the overlap
+# statistics pass at 10k/100k/500k synthetic observations, alongside the
+# pinned serial reference walks over the same repositories. The "seed"
+# block holds the serial-path numbers measured before the scale-out work
+# (min of passes on the same method) — identical math, so seed vs the
+# parallel "current" entries is the scale-out speedup, and seed vs the
+# Serial entries shows the unchanged reference.
+#
+# All families run in ONE go test process per pass: the synthetic
+# repositories (up to 500k observations) are generated once per process
+# and cached across benchmarks, and regenerating them per family would
+# dominate the sweep.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_analyzer.json
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+BENCHTIME="${BENCHTIME:-1s}"
+PASSES="${BENCH_ANALYZER_PASSES:-2}"
+
+pass=1
+while [ "$pass" -le "$PASSES" ]; do
+	go test -run='^$' -bench='^BenchmarkAnalyzer' \
+		-benchmem -benchtime="$BENCHTIME" ./internal/analyzer/ | tee -a "$TMP"
+	pass=$((pass + 1))
+done
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "passes": %s,\n' "$PASSES"
+	cat <<'SEED'
+  "seed": {
+    "BenchmarkAnalyzerSerial/obs=10000":   {"ns_op": 17173753, "bytes_op": 27959240, "allocs_op": 17971},
+    "BenchmarkAnalyzerSerial/obs=100000":  {"ns_op": 342901523, "bytes_op": 295690442, "allocs_op": 119829},
+    "BenchmarkAnalyzerSerial/obs=500000":  {"ns_op": 2443544404, "bytes_op": 1609642053, "allocs_op": 527992},
+    "BenchmarkAnalyzerAggregateSerial/obs=10000":  {"ns_op": 12154422, "bytes_op": 27134000, "allocs_op": 17868},
+    "BenchmarkAnalyzerAggregateSerial/obs=100000": {"ns_op": 275536417, "bytes_op": 293072242, "allocs_op": 119578},
+    "BenchmarkAnalyzerAggregateSerial/obs=500000": {"ns_op": 2652090083, "bytes_op": 1601126274, "allocs_op": 527305},
+    "BenchmarkAnalyzerOverlapStatsSerial/obs=10000":  {"ns_op": 11435386, "bytes_op": 26884784, "allocs_op": 7339},
+    "BenchmarkAnalyzerOverlapStatsSerial/obs=100000": {"ns_op": 346911068, "bytes_op": 293193752, "allocs_op": 18673},
+    "BenchmarkAnalyzerOverlapStatsSerial/obs=500000": {"ns_op": 2771015086, "bytes_op": 1601146341, "allocs_op": 27420}
+  },
+SEED
+	awk '
+		BEGIN {
+			# Seed ns/op: the serial path before the scale-out work. The
+			# parallel benchmark at size N is compared against the serial
+			# seed at size N (same math, same repository).
+			seed["BenchmarkAnalyzerAnalyze/obs=10000"] = 17173753
+			seed["BenchmarkAnalyzerAnalyze/obs=100000"] = 342901523
+			seed["BenchmarkAnalyzerAnalyze/obs=500000"] = 2443544404
+			seed["BenchmarkAnalyzerSerial/obs=10000"] = 17173753
+			seed["BenchmarkAnalyzerSerial/obs=100000"] = 342901523
+			seed["BenchmarkAnalyzerSerial/obs=500000"] = 2443544404
+			seed["BenchmarkAnalyzerAggregate/obs=10000"] = 12154422
+			seed["BenchmarkAnalyzerAggregate/obs=100000"] = 275536417
+			seed["BenchmarkAnalyzerAggregate/obs=500000"] = 2652090083
+			seed["BenchmarkAnalyzerAggregateSerial/obs=10000"] = 12154422
+			seed["BenchmarkAnalyzerAggregateSerial/obs=100000"] = 275536417
+			seed["BenchmarkAnalyzerAggregateSerial/obs=500000"] = 2652090083
+			seed["BenchmarkAnalyzerOverlapStats/obs=10000"] = 11435386
+			seed["BenchmarkAnalyzerOverlapStats/obs=100000"] = 346911068
+			seed["BenchmarkAnalyzerOverlapStats/obs=500000"] = 2771015086
+			seed["BenchmarkAnalyzerOverlapStatsSerial/obs=10000"] = 11435386
+			seed["BenchmarkAnalyzerOverlapStatsSerial/obs=100000"] = 346911068
+			seed["BenchmarkAnalyzerOverlapStatsSerial/obs=500000"] = 2771015086
+		}
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = bytes = allocs = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				else if ($i == "B/op") bytes = $(i-1)
+				else if ($i == "allocs/op") allocs = $(i-1)
+			}
+			if (ns == "") next
+			if (!(name in minNs) || ns + 0 < minNs[name] + 0) {
+				minNs[name] = ns
+				minBytes[name] = bytes
+				minAllocs[name] = allocs
+			}
+			if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+		}
+		END {
+			printf "  \"current\": {\n"
+			for (i = 0; i < n; i++) {
+				nm = order[i]
+				line = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s", \
+					nm, minNs[nm], minBytes[nm], minAllocs[nm])
+				if (nm in seed)
+					line = line sprintf(", \"speedup_vs_seed\": %.2f", seed[nm] / minNs[nm])
+				line = line "}"
+				printf "%s%s\n", line, (i < n-1 ? "," : "")
+			}
+			printf "  }\n"
+		}
+	' "$TMP"
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -23,6 +23,11 @@ go test -race -run='TestConsumeCacheConcurrent|TestConcurrentStoreOps|TestMultiP
 # encode/decode round trip (all data kinds, NULLs, extreme values,
 # corrupt-payload rejection). Longer runs: go test -fuzz with a budget.
 go test -run='^$' -fuzz='^FuzzColencRoundTrip$' -fuzztime=10s ./internal/data/colenc/
+# Analyzer scale-out under the race detector, by name: the golden
+# serial-vs-parallel equivalence sweep (every strategy and admin knob) and
+# the concurrent Append-while-Analyze soak over the zero-copy snapshot.
+go test -race -run='TestAnalyzerGolden|TestAnalyzerConcurrent|TestOverlapStatsGolden' \
+	-count=1 ./internal/analyzer/
 # Chaos soak under the race detector, bounded rounds: concurrent jobs
 # through a seeded fault schedule (vertex crashes, storage faults, view
 # corruption, metadata blackouts) with per-job output validation. The
@@ -40,6 +45,9 @@ go test -run='^$' -bench='^BenchmarkStorageReuseHitJob$' -benchtime=1x ./interna
 # verifies the benchmark harnesses and their internal assertions.
 go test -run='^$' -bench='^BenchmarkSignature$|^BenchmarkOptimizeFrontend$|^BenchmarkMetadataLookup' \
 	-benchtime=1x ./internal/signature/ ./internal/optimizer/ ./internal/metadata/
+# Analyzer benchmark smoke: one iteration at the -short sizes verifies the
+# harnesses (full runs + BENCH_analyzer.json live in bench_analyzer.sh).
+go test -run='^$' -bench='^BenchmarkAnalyzer' -benchtime=1x -short ./internal/analyzer/
 # Smoke-run every benchmark once; -short skips the heavyweight runs
 # (full TPC-DS) so this finishes quickly.
 go test -run='^$' -bench=. -benchtime=1x -short ./...
