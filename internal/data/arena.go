@@ -92,6 +92,42 @@ func (a *RowArena) newRowSlow(width int) Row {
 	return Row(a.block[0:width:width])
 }
 
+// NewRows fills out with len(out) fresh zeroed rows of the given width —
+// the batch form of NewRow for kernels that emit one output row per input
+// row (compiled projection). Rows come out identical to len(out) NewRow
+// calls (full capacity == width, carved in order), but the cursor bumps
+// once per block instead of once per row. When a block runs out, the next
+// one is sized for everything still owed, so a pre-sized emit arena serves
+// the whole batch from a single allocation.
+func (a *RowArena) NewRows(out []Row, width int) {
+	if width <= 0 {
+		for i := range out {
+			out[i] = Row{}
+		}
+		return
+	}
+	i := 0
+	for i < len(out) {
+		avail := (len(a.block) - a.used) / width
+		if avail == 0 {
+			a.grow((len(out) - i) * width)
+			avail = len(a.block) / width
+		}
+		n := len(out) - i
+		if n > avail {
+			n = avail
+		}
+		off := a.used
+		for j := 0; j < n; j++ {
+			end := off + width
+			out[i+j] = Row(a.block[off:end:end])
+			off = end
+		}
+		a.used = off
+		i += n
+	}
+}
+
 // Concat returns a new arena row holding a ++ b — the join emit shape.
 func (a *RowArena) Concat(x, y Row) Row {
 	nr := a.NewRow(len(x) + len(y))

@@ -25,6 +25,7 @@ import (
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
+	"cloudviews/internal/expr"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/storage"
 )
@@ -469,46 +470,78 @@ func forEachPartition(in partitions, inRows int64, fn func(i int, part []data.Ro
 	return out
 }
 
+// selPool recycles the selection buffers compiled filters fill per
+// partition. The buffers hold row indexes only — they never escape the
+// operator — so pooling them is safe regardless of where the kept rows
+// flow.
+var selPool = sync.Pool{
+	New: func() any {
+		s := make([]int32, 0, 1024)
+		return &s
+	},
+}
+
 func applyFilter(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
-	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
+	// Compile once per vertex. The compiled program is immutable after
+	// Compile returns, so every partition worker shares it race-free; the
+	// child schema supplies the kind hints for the specialized comparisons.
+	prog := expr.Compile(n.Pred, n.Children[0].Schema())
+	// Output bytes are summed during the gather (the selection already has
+	// the kept rows in hand), replacing nodeStats' re-walk of the output.
+	bytesPer := make([]int64, len(in))
+	out := forEachPartition(in, inStats.Rows, func(i int, part []data.Row) []data.Row {
 		if len(part) == 0 {
 			return nil
 		}
-		// Pre-size for a middling selectivity instead of growing from nil,
-		// then shrink-wrap: the kept slice is long-lived (it may flow into
-		// outputs or materialized views), so a mostly-empty backing array
-		// would pin memory far past the operator.
-		kept := make([]data.Row, 0, len(part)/2+4)
-		for _, r := range part {
-			if n.Pred.Eval(r).Truth() {
-				kept = append(kept, r)
-			}
-		}
-		if len(kept) == 0 {
+		selp := selPool.Get().(*[]int32)
+		sel := prog.SelectInto(prog.NewCtx(), part, (*selp)[:0])
+		if len(sel) == 0 {
+			*selp = sel
+			selPool.Put(selp)
 			return nil
 		}
-		if cap(kept) >= 2*len(kept) {
-			kept = append(make([]data.Row, 0, len(kept)), kept...)
+		// The kept slice is long-lived (it may flow into outputs or
+		// materialized views), so it is allocated exactly sized from the
+		// selection count — the shrink-wrap contract without the
+		// selectivity guess or the copy.
+		kept := make([]data.Row, len(sel))
+		var b int64
+		for j, idx := range sel {
+			r := part[idx]
+			kept[j] = r
+			b += r.ByteSize()
 		}
+		bytesPer[i] = b
+		*selp = sel
+		selPool.Put(selp)
 		return kept
 	})
-	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
+	var outBytes int64
+	for _, b := range bytesPer {
+		outBytes += b
+	}
+	return out, outBytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
 func applyProject(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
-	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
-		arena := data.NewRowArenaSized(len(part) * len(n.Exprs))
+	// Compile the projection list once per vertex (shared read-only across
+	// partition workers); EmitInto reports the exact output byte size, so
+	// nodeStats skips its re-walk of the emitted rows.
+	proj := expr.CompileProject(n.Exprs, n.Children[0].Schema())
+	width := proj.Width()
+	bytesPer := make([]int64, len(in))
+	out := forEachPartition(in, inStats.Rows, func(i int, part []data.Row) []data.Row {
+		arena := data.NewRowArenaSized(len(part) * width)
 		rows := make([]data.Row, len(part))
-		for j, r := range part {
-			nr := arena.NewRow(len(n.Exprs))
-			for k, ex := range n.Exprs {
-				nr[k] = ex.Eval(r)
-			}
-			rows[j] = nr
-		}
+		arena.NewRows(rows, width)
+		bytesPer[i] = proj.EmitInto(proj.NewCtx(), part, rows)
 		return rows
 	})
-	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
+	var outBytes int64
+	for _, b := range bytesPer {
+		outBytes += b
+	}
+	return out, outBytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
 func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {

@@ -141,6 +141,22 @@ func BenchmarkExecSort(b *testing.B) {
 	})
 }
 
+// BenchmarkExecFilter isolates the per-row predicate path: a TPC-DS-shaped
+// conjunctive predicate (integer comparison AND an arithmetic bound) over
+// the fact table. This is the scalar hot path the expression compiler
+// targets — the ns/op here is dominated by predicate evaluation.
+func BenchmarkExecFilter(b *testing.B) {
+	runKernelBench(b, func(parts int) *plan.Node {
+		return plan.Scan("fact", "fact-v1", salesSchema()).
+			Filter(expr.And(
+				expr.B(expr.OpGt, expr.C(2, "qty"), expr.Lit(data.Int(1))),
+				expr.B(expr.OpLt,
+					expr.B(expr.OpMul, expr.C(2, "qty"), expr.C(3, "price")),
+					expr.Lit(data.Float(1500))))).
+			Output("o")
+	})
+}
+
 // BenchmarkExecProjectEmit isolates the per-row emit path (one fresh row
 // per input row) — the allocs/op number is the headline for the row arena.
 func BenchmarkExecProjectEmit(b *testing.B) {

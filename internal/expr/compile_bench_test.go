@@ -1,0 +1,120 @@
+package expr
+
+import (
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// benchPred is the canonical filter shape from the exec kernel benchmarks:
+// a conjunctive range predicate mixing an int comparison with float
+// arithmetic, over a 4-column row.
+func benchPred() Expr {
+	return And(
+		B(OpGt, C(0, "a"), Lit(data.Int(1))),
+		B(OpLt, B(OpMul, C(0, "a"), C(2, "f")), Lit(data.Float(1500.0))),
+	)
+}
+
+// benchProj is a projection column with real scalar work: arithmetic plus
+// a builtin call.
+func benchProj() Expr {
+	return F("if",
+		B(OpGt, C(0, "a"), Lit(data.Int(5))),
+		B(OpMul, C(2, "f"), Lit(data.Float(0.9))),
+		C(2, "f"))
+}
+
+var benchRows = func() []data.Row {
+	rows := make([]data.Row, 4096)
+	for i := range rows {
+		rows[i] = data.Row{
+			data.Int(int64(i % 13)),
+			data.String_("brand_x"),
+			data.Float(float64(i%37) * 3.25),
+			data.Date(int64(i % 365)),
+		}
+	}
+	return rows
+}()
+
+// BenchmarkExprCompile measures the one-time per-vertex compilation cost —
+// the price paid once per operator, amortized over every row it touches.
+func BenchmarkExprCompile(b *testing.B) {
+	e := benchPred()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := Compile(e, testSchema)
+		if c.pred == nil {
+			b.Fatal("no predicate form")
+		}
+	}
+}
+
+// BenchmarkExprEval compares the tree-walking interpreter against the
+// compiled closure on the same predicate, per row.
+func BenchmarkExprEval(b *testing.B) {
+	e := benchPred()
+	b.Run("interp", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if e.Eval(benchRows[i%len(benchRows)]).Truth() {
+				n++
+			}
+		}
+		sinkInt = n
+	})
+	b.Run("compiled", func(b *testing.B) {
+		c := Compile(e, testSchema)
+		ctx := c.NewCtx()
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if c.Truth(ctx, benchRows[i%len(benchRows)]) {
+				n++
+			}
+		}
+		sinkInt = n
+	})
+}
+
+// BenchmarkExprProject compares interpreted vs compiled projection of a
+// builtin-bearing expression, per row.
+func BenchmarkExprProject(b *testing.B) {
+	e := benchProj()
+	b.Run("interp", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			acc += e.Eval(benchRows[i%len(benchRows)]).I
+		}
+		sinkInt = int(acc)
+	})
+	b.Run("compiled", func(b *testing.B) {
+		c := Compile(e, testSchema)
+		ctx := c.NewCtx()
+		b.ReportAllocs()
+		var acc int64
+		for i := 0; i < b.N; i++ {
+			acc += c.Eval(ctx, benchRows[i%len(benchRows)]).I
+		}
+		sinkInt = int(acc)
+	})
+}
+
+// BenchmarkExprSelectInto measures the batch predicate entry point used by
+// the filter kernel: one call per partition, selection buffer reused.
+func BenchmarkExprSelectInto(b *testing.B) {
+	c := Compile(benchPred(), testSchema)
+	ctx := c.NewCtx()
+	sel := make([]int32, 0, len(benchRows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = c.SelectInto(ctx, benchRows, sel[:0])
+	}
+	sinkInt = len(sel)
+}
+
+var sinkInt int

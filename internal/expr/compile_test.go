@@ -1,0 +1,367 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// fuzzSchema is the four-kind input shape the equivalence sweeps run over.
+// Rows generated against it deliberately include wrong-kind and NULL
+// values, so the compiled programs' kind-hint guards get exercised on both
+// the hit and the fallback side.
+var sweepSchema = data.Schema{
+	{Name: "i", Kind: data.KindInt},
+	{Name: "s", Kind: data.KindString},
+	{Name: "f", Kind: data.KindFloat},
+	{Name: "d", Kind: data.KindDate},
+}
+
+// sweepValue draws a value of any kind — including NULLs, NaN/zero floats,
+// bools, and empty strings — so arithmetic, comparison, and Truth paths
+// all see hostile inputs.
+func sweepValue(r *rand.Rand) data.Value {
+	switch r.Intn(8) {
+	case 0:
+		return data.Null()
+	case 1:
+		return data.Int(r.Int63n(40) - 20)
+	case 2:
+		return data.Float(float64(r.Int63n(40)-20) / 4)
+	case 3:
+		switch r.Intn(4) {
+		case 0:
+			return data.Float(math.NaN())
+		case 1:
+			return data.Float(0)
+		case 2:
+			return data.Float(math.Inf(1))
+		default:
+			return data.Float(-1.5)
+		}
+	case 4:
+		return data.String_([]string{"", "a", "brand_x", "Hello"}[r.Intn(4)])
+	case 5:
+		return data.Bool(r.Intn(2) == 0)
+	case 6:
+		return data.Date(r.Int63n(20000))
+	default:
+		return data.Int(0)
+	}
+}
+
+func sweepRow(r *rand.Rand) data.Row {
+	row := make(data.Row, len(sweepSchema))
+	for i := range row {
+		row[i] = sweepValue(r)
+	}
+	return row
+}
+
+// sweepExpr builds a random expression over sweepSchema using every node
+// type the compiler handles: all 13 binary operators plus an out-of-range
+// one, Not, Params, every builtin at correct arity, an unknown function,
+// and UDFs with and without custom bodies.
+func sweepExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return C(r.Intn(len(sweepSchema)), "")
+		case 1:
+			return Lit(sweepValue(r))
+		case 2:
+			return P("p", sweepValue(r))
+		default:
+			return C(r.Intn(len(sweepSchema)), "")
+		}
+	}
+	switch r.Intn(8) {
+	case 0, 1, 2, 3:
+		ops := []Op{
+			OpAdd, OpSub, OpMul, OpDiv, OpMod,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+			OpAnd, OpOr, Op(99),
+		}
+		return B(ops[r.Intn(len(ops))], sweepExpr(r, depth-1), sweepExpr(r, depth-1))
+	case 4:
+		return &Not{sweepExpr(r, depth-1)}
+	case 5:
+		switch r.Intn(6) {
+		case 0:
+			return F("upper", sweepExpr(r, depth-1))
+		case 1:
+			return F("len", sweepExpr(r, depth-1))
+		case 2:
+			return F("substr", sweepExpr(r, depth-1), Lit(data.Int(r.Int63n(4))), Lit(data.Int(r.Int63n(4))))
+		case 3:
+			return F("abs", sweepExpr(r, depth-1))
+		case 4:
+			return F("if", sweepExpr(r, depth-1), sweepExpr(r, depth-1), sweepExpr(r, depth-1))
+		default:
+			return F("nosuchfn", sweepExpr(r, depth-1))
+		}
+	case 6:
+		u := &UDF{Name: "u", CodeHash: "h1", Args: []Expr{sweepExpr(r, depth-1)}}
+		if r.Intn(2) == 0 {
+			u.Fn = sweepUDFBody
+		}
+		return u
+	default:
+		return F("concat", sweepExpr(r, depth-1), sweepExpr(r, depth-1))
+	}
+}
+
+// sweepUDFBody is a deterministic custom UDF body (pure, like real scalar
+// UDFs are assumed to be for reuse).
+func sweepUDFBody(args []data.Value) data.Value {
+	return data.Int(args[0].AsInt()*3 + 1)
+}
+
+// TestCompiledGoldenEquivalence is the golden sweep: thousands of random
+// expression trees × random (frequently wrong-kind) rows, compiled output
+// bit-identical to the interpreter in both the value and predicate forms,
+// under both the real schema and a nil schema (no hints).
+func TestCompiledGoldenEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4000; trial++ {
+		e := sweepExpr(r, 4)
+		c := Compile(e, sweepSchema)
+		cn := Compile(e, nil)
+		ctx, ctxn := c.NewCtx(), cn.NewCtx()
+		for i := 0; i < 4; i++ {
+			row := sweepRow(r)
+			want := e.Eval(row)
+			if got := c.Eval(ctx, row); !valueIdentical(got, want) {
+				t.Fatalf("trial %d row %d: compiled %s = %v, interpreter %v", trial, i, e, got, want)
+			}
+			if got := cn.Eval(ctxn, row); !valueIdentical(got, want) {
+				t.Fatalf("trial %d row %d: nil-schema compiled %s = %v, interpreter %v", trial, i, e, got, want)
+			}
+			if got := c.Truth(ctx, row); got != want.Truth() {
+				t.Fatalf("trial %d row %d: compiled pred %s = %v, interpreter Truth %v", trial, i, e, got, want.Truth())
+			}
+		}
+	}
+}
+
+// TestCompiledConstantFolding pins that constant subtrees fold: the
+// compiled closure for a constant expression returns the folded value even
+// on a nil row (a row-dependent closure would panic indexing it), and
+// Func folding declines on arity panics so they stay at eval time.
+func TestCompiledConstantFolding(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{B(OpAdd, Lit(data.Int(2)), Lit(data.Int(3))), data.Int(5)},
+		{B(OpDiv, Lit(data.Int(1)), Lit(data.Int(0))), data.Null()},
+		{Eq(Lit(data.Int(2)), Lit(data.Int(2))), data.Bool(true)},
+		{F("upper", Lit(data.String_("ab"))), data.String_("AB")},
+		{F("len", F("concat", Lit(data.String_("a")), Lit(data.String_("bc")))), data.Int(3)},
+		{&Not{Lit(data.Bool(true))}, data.Bool(false)},
+		{And(Lit(data.Bool(true)), Lit(data.Bool(false))), data.Bool(false)},
+		{B(OpOr, Lit(data.Bool(true)), Lit(data.Bool(false))), data.Bool(true)},
+		{P("p", data.Int(9)), data.Int(9)},
+		{&UDF{Name: "u", CodeHash: "h"}, (&UDF{Name: "u", CodeHash: "h"}).Eval(nil)},
+	}
+	for _, tc := range cases {
+		c := Compile(tc.e, nil)
+		if got := c.Eval(c.NewCtx(), nil); !valueIdentical(got, tc.want) {
+			t.Errorf("%s folded to %v, want %v", tc.e, got, tc.want)
+		}
+	}
+	// A folded And/Or side with a row-dependent other side still works —
+	// and a constant-false left side short-circuits the whole predicate.
+	e := And(Lit(data.Bool(false)), B(OpGt, C(0, "i"), Lit(data.Int(1))))
+	c := Compile(e, sweepSchema)
+	if c.Truth(c.NewCtx(), nil) {
+		t.Error("constant-false And side should fold the predicate to false")
+	}
+	// Arity abuse must NOT panic at compile time — the fold declines and
+	// the panic surfaces at eval time, exactly like the interpreter.
+	bad := F("substr", Lit(data.String_("abc")))
+	cBad := Compile(bad, nil)
+	assertPanics(t, "interpreter bad arity", func() { bad.Eval(testRow) })
+	assertPanics(t, "compiled bad arity", func() { cBad.Eval(cBad.NewCtx(), testRow) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestCompiledGuardFallbacks drives each kind-specialized fast path with
+// rows whose runtime kinds contradict the schema hints, so every guard's
+// fallback branch is known to reproduce the interpreter.
+func TestCompiledGuardFallbacks(t *testing.T) {
+	// Schema says (int, int) / (int, float); rows disagree.
+	schema := data.Schema{{Name: "a", Kind: data.KindInt}, {Name: "b", Kind: data.KindInt}, {Name: "c", Kind: data.KindFloat}}
+	exprs := []Expr{
+		B(OpAdd, C(0, "a"), C(1, "b")),                // int arith col-col
+		B(OpMul, C(0, "a"), C(2, "c")),                // mixed arith col-col
+		B(OpDiv, C(0, "a"), Lit(data.Int(3))),         // int arith col-const
+		B(OpGt, C(0, "a"), Lit(data.Int(5))),          // int cmp col-const
+		B(OpLt, C(2, "c"), Lit(data.Float(2))),        // float cmp col-const
+		B(OpLe, C(0, "a"), C(1, "b")),                 // int cmp col-col
+		Eq(C(2, "c"), B(OpAdd, C(2, "c"), C(0, "a"))), // float cmp general
+		And(B(OpGt, C(0, "a"), Lit(data.Int(0))), B(OpLt, C(1, "b"), Lit(data.Int(9)))),
+	}
+	rows := []data.Row{
+		{data.Int(7), data.Int(3), data.Float(1.5)},             // hints hold
+		{data.Null(), data.Int(3), data.Float(1.5)},             // null where int promised
+		{data.String_("x"), data.Bool(true), data.Int(2)},       // strings/bools/ints everywhere
+		{data.Float(1.5), data.Float(2.5), data.String_("y")},   // floats where ints promised
+		{data.Date(100), data.Date(50), data.Float(math.NaN())}, // dates + NaN
+		{data.Int(0), data.Int(0), data.Float(0)},               // zeros (div/mod-by-zero)
+	}
+	for _, e := range exprs {
+		c := Compile(e, schema)
+		for i, row := range rows {
+			want := e.Eval(row)
+			if got := c.Eval(c.NewCtx(), row); !valueIdentical(got, want) {
+				t.Errorf("row %d: compiled %s = %v, interpreter %v", i, e, got, want)
+			}
+			if got := c.Truth(c.NewCtx(), row); got != want.Truth() {
+				t.Errorf("row %d: compiled pred %s = %v, interpreter Truth %v", i, e, got, want.Truth())
+			}
+		}
+	}
+}
+
+// TestCompiledFuncScratch pins the argument-hoisting machinery: nested
+// calls own disjoint scratch ranges (inner evaluation must not clobber the
+// outer call's already-evaluated arguments), and custom UDF bodies are
+// called with the right arguments.
+func TestCompiledFuncScratch(t *testing.T) {
+	// concat(upper(s), lower(s), substr(s,0,2)): the outer concat's args
+	// are produced by inner calls that use their own scratch.
+	e := F("concat",
+		F("upper", C(1, "s")),
+		F("lower", C(1, "s")),
+		F("substr", C(1, "s"), Lit(data.Int(0)), Lit(data.Int(2))))
+	c := Compile(e, testSchema)
+	want := e.Eval(testRow)
+	if got := c.Eval(c.NewCtx(), testRow); !valueIdentical(got, want) {
+		t.Fatalf("nested funcs: compiled %v, interpreter %v", got, want)
+	}
+	// The same Ctx is reusable across rows.
+	ctx := c.NewCtx()
+	for i := 0; i < 3; i++ {
+		if got := c.Eval(ctx, testRow); !valueIdentical(got, want) {
+			t.Fatalf("ctx reuse iteration %d: %v != %v", i, got, want)
+		}
+	}
+	// UDFs: custom body and default (hash) body, nested under a Func.
+	u := &UDF{Name: "x3", CodeHash: "h", Args: []Expr{C(0, "a")}, Fn: sweepUDFBody}
+	ud := &UDF{Name: "hash", CodeHash: "h2", Args: []Expr{C(0, "a"), C(2, "f")}}
+	for _, e := range []Expr{u, ud, F("abs", u), F("if", B(OpGt, C(0, "a"), Lit(data.Int(0))), u, ud)} {
+		c := Compile(e, testSchema)
+		want := e.Eval(testRow)
+		if got := c.Eval(c.NewCtx(), testRow); !valueIdentical(got, want) {
+			t.Errorf("udf %s: compiled %v, interpreter %v", e, got, want)
+		}
+	}
+}
+
+// TestSelectInto pins the batch predicate form: indexes of passing rows in
+// scan order, appended to the caller's buffer.
+func TestSelectInto(t *testing.T) {
+	rows := []data.Row{
+		{data.Int(5)}, {data.Int(1)}, {data.Int(9)}, {data.Null()}, {data.Int(7)},
+	}
+	e := B(OpGt, C(0, "i"), Lit(data.Int(4)))
+	c := Compile(e, data.Schema{{Name: "i", Kind: data.KindInt}})
+	sel := c.SelectInto(c.NewCtx(), rows, nil)
+	want := []int32{0, 2, 4}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v, want %v", sel, want)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+	// Appending into a reused buffer keeps prior content.
+	sel2 := c.SelectInto(c.NewCtx(), rows[:2], sel[:0])
+	if len(sel2) != 1 || sel2[0] != 0 {
+		t.Fatalf("reused sel = %v", sel2)
+	}
+}
+
+// TestCompileProjectEmitInto pins the batch projector: per-column modes
+// (direct copy, constant, closure), byte accounting identical to a
+// ByteSize walk of the emitted rows, and rows equal to the interpreter's.
+func TestCompileProjectEmitInto(t *testing.T) {
+	exprs := []Expr{
+		C(1, "s"),                      // direct copy
+		B(OpMul, C(0, "a"), C(2, "f")), // compiled closure
+		B(OpAdd, Lit(data.Int(2)), Lit(data.Int(3))), // folds to constant
+		F("len", C(1, "s")),                          // func with scratch
+	}
+	p := CompileProject(exprs, testSchema)
+	if p.Width() != len(exprs) {
+		t.Fatalf("width = %d", p.Width())
+	}
+	part := []data.Row{
+		testRow,
+		{data.Null(), data.String_(""), data.Float(math.NaN()), data.Date(1)},
+		{data.String_("wrongkind"), data.Int(3), data.Int(4), data.Bool(true)},
+	}
+	arena := data.NewRowArenaSized(len(part) * p.Width())
+	out := make([]data.Row, len(part))
+	arena.NewRows(out, p.Width())
+	bytes := p.EmitInto(p.NewCtx(), part, out)
+	var wantBytes int64
+	for j, r := range part {
+		for k, e := range exprs {
+			want := e.Eval(r)
+			if !valueIdentical(out[j][k], want) {
+				t.Errorf("row %d col %d: emitted %v, interpreter %v", j, k, out[j][k], want)
+			}
+			wantBytes += want.ByteSize()
+		}
+	}
+	if bytes != wantBytes {
+		t.Errorf("EmitInto bytes = %d, ByteSize walk = %d", bytes, wantBytes)
+	}
+}
+
+// TestCompiledSharedAcrossGoroutines runs one compiled program (with
+// Func/UDF scratch, so the per-worker Ctx machinery is in play) over many
+// goroutines; run under -race this pins the read-only-after-Compile
+// contract the executor relies on.
+func TestCompiledSharedAcrossGoroutines(t *testing.T) {
+	e := And(
+		B(OpGt, &UDF{Name: "u", CodeHash: "h", Args: []Expr{C(0, "a")}}, Lit(data.Int(0))),
+		B(OpLt, F("len", C(1, "s")), Lit(data.Int(100))))
+	c := Compile(e, testSchema)
+	want := c.Truth(c.NewCtx(), testRow)
+	if want != e.Eval(testRow).Truth() {
+		t.Fatal("compiled disagrees with interpreter before concurrency")
+	}
+	done := make(chan bool, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ctx := c.NewCtx()
+			ok := true
+			for i := 0; i < 500; i++ {
+				if c.Truth(ctx, testRow) != want {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent evaluation diverged")
+		}
+	}
+}

@@ -327,63 +327,95 @@ func (f *Func) Eval(row data.Row) data.Value {
 	return evalFunc(f.Name, args)
 }
 
-func evalFunc(name string, args []data.Value) data.Value {
-	switch name {
-	case "upper":
-		return data.String_(strings.ToUpper(args[0].S))
-	case "lower":
-		return data.String_(strings.ToLower(args[0].S))
-	case "len":
-		return data.Int(int64(len(args[0].S)))
-	case "concat":
-		var sb strings.Builder
-		for _, a := range args {
-			sb.WriteString(a.String())
-		}
-		return data.String_(sb.String())
-	case "substr":
-		s := args[0].S
-		start := int(args[1].AsInt())
-		n := int(args[2].AsInt())
-		if start < 0 || start >= len(s) || n <= 0 {
-			return data.String_("")
-		}
-		end := start + n
-		if end > len(s) {
-			end = len(s)
-		}
-		return data.String_(s[start:end])
-	case "abs":
-		if args[0].K == data.KindFloat {
-			f := args[0].F
-			if f < 0 {
-				f = -f
-			}
-			return data.Float(f)
-		}
-		i := args[0].AsInt()
-		if i < 0 {
-			i = -i
-		}
-		return data.Int(i)
-	case "year":
-		// Approximate civil year from epoch days; exactness is irrelevant
-		// to reuse semantics, determinism is what matters.
-		return data.Int(1970 + args[0].AsInt()/365)
-	case "month":
-		return data.Int(1 + (args[0].AsInt()/30)%12)
-	case "dayofweek":
-		return data.Int((4 + args[0].AsInt()) % 7)
-	case "hash":
-		return data.Int(int64(args[0].Hash64() & 0x7fffffffffffffff))
-	case "if":
-		if args[0].Truth() {
-			return args[1]
-		}
-		return args[2]
-	default:
-		return data.Null()
+// builtinFn is the body of one scalar built-in. Bodies are pure functions
+// of their arguments — the compiler relies on that to fold constant calls
+// and to resolve the name→body lookup once per vertex instead of per row.
+type builtinFn func(args []data.Value) data.Value
+
+// builtins maps function names to bodies. The map is populated once at init
+// and never written afterwards, so the interpreter and compiled programs on
+// concurrent partition workers read it without synchronization.
+var builtins = map[string]builtinFn{
+	"upper":     builtinUpper,
+	"lower":     builtinLower,
+	"len":       builtinLen,
+	"concat":    builtinConcat,
+	"substr":    builtinSubstr,
+	"abs":       builtinAbs,
+	"year":      builtinYear,
+	"month":     builtinMonth,
+	"dayofweek": builtinDayOfWeek,
+	"hash":      builtinHash,
+	"if":        builtinIf,
+}
+
+func builtinUpper(args []data.Value) data.Value { return data.String_(strings.ToUpper(args[0].S)) }
+
+func builtinLower(args []data.Value) data.Value { return data.String_(strings.ToLower(args[0].S)) }
+
+func builtinLen(args []data.Value) data.Value { return data.Int(int64(len(args[0].S))) }
+
+func builtinConcat(args []data.Value) data.Value {
+	var sb strings.Builder
+	for _, a := range args {
+		sb.WriteString(a.String())
 	}
+	return data.String_(sb.String())
+}
+
+func builtinSubstr(args []data.Value) data.Value {
+	s := args[0].S
+	start := int(args[1].AsInt())
+	n := int(args[2].AsInt())
+	if start < 0 || start >= len(s) || n <= 0 {
+		return data.String_("")
+	}
+	end := start + n
+	if end > len(s) {
+		end = len(s)
+	}
+	return data.String_(s[start:end])
+}
+
+func builtinAbs(args []data.Value) data.Value {
+	if args[0].K == data.KindFloat {
+		f := args[0].F
+		if f < 0 {
+			f = -f
+		}
+		return data.Float(f)
+	}
+	i := args[0].AsInt()
+	if i < 0 {
+		i = -i
+	}
+	return data.Int(i)
+}
+
+// builtinYear approximates the civil year from epoch days; exactness is
+// irrelevant to reuse semantics, determinism is what matters.
+func builtinYear(args []data.Value) data.Value { return data.Int(1970 + args[0].AsInt()/365) }
+
+func builtinMonth(args []data.Value) data.Value { return data.Int(1 + (args[0].AsInt()/30)%12) }
+
+func builtinDayOfWeek(args []data.Value) data.Value { return data.Int((4 + args[0].AsInt()) % 7) }
+
+func builtinHash(args []data.Value) data.Value {
+	return data.Int(int64(args[0].Hash64() & 0x7fffffffffffffff))
+}
+
+func builtinIf(args []data.Value) data.Value {
+	if args[0].Truth() {
+		return args[1]
+	}
+	return args[2]
+}
+
+func evalFunc(name string, args []data.Value) data.Value {
+	if fn, ok := builtins[name]; ok {
+		return fn(args)
+	}
+	return data.Null()
 }
 
 // AppendTo implements Expr.

@@ -1,0 +1,174 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// FuzzCompiledEval decodes the fuzz input into a random expression tree
+// plus a random row (wrong-kind and NULL values included, so the compiled
+// kind-guard fallbacks are exercised), then requires the compiled program
+// to be bit-identical to the interpreter in both the value and predicate
+// forms, under both the hinted schema and no schema. The decoder only ever
+// builds trees the interpreter itself evaluates without panicking —
+// in-range column indexes, correct builtin arities — because the contract
+// under test is equivalence on well-formed inputs.
+//
+// scripts/check.sh runs this for a few seconds alongside
+// FuzzColencRoundTrip; `go test -fuzz=FuzzCompiledEval ./internal/expr/`
+// runs it open-ended.
+func FuzzCompiledEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	// A conjunctive filter shape: (col > lit) and (col*col < lit).
+	f.Add([]byte{0xc1, 0x07, 0x00, 0x10, 0xc2, 0x02, 0x11, 0x22, 0x33, 0x44})
+	// Function calls and UDFs over string/float columns.
+	f.Add([]byte{0xe0, 0x41, 0x01, 0xe5, 0x99, 0x17, 0xaa, 0x05, 0x3c})
+	// Deep arithmetic with nulls and division.
+	f.Add([]byte{0x83, 0x83, 0x83, 0x03, 0x00, 0xff, 0x7f, 0x80, 0x00, 0x00, 0x9d, 0x42})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g := &fuzzGen{b: in}
+		e := g.expr(4)
+		rows := []data.Row{g.row(), g.row()}
+		c := Compile(e, sweepSchema)
+		cn := Compile(e, nil)
+		ctx, ctxn := c.NewCtx(), cn.NewCtx()
+		for i, row := range rows {
+			want := e.Eval(row)
+			if got := c.Eval(ctx, row); !valueIdentical(got, want) {
+				t.Fatalf("row %d: compiled %s = %#v, interpreter %#v", i, e, got, want)
+			}
+			if got := cn.Eval(ctxn, row); !valueIdentical(got, want) {
+				t.Fatalf("row %d: nil-schema compiled %s = %#v, interpreter %#v", i, e, got, want)
+			}
+			if got := c.Truth(ctx, row); got != want.Truth() {
+				t.Fatalf("row %d: compiled pred %s = %v, interpreter Truth %v", i, e, got, want.Truth())
+			}
+		}
+	})
+}
+
+// fuzzGen deterministically decodes an expression tree and row values from
+// a byte stream; an exhausted stream reads as zeros, so every input is
+// valid and small inputs produce small trees.
+type fuzzGen struct {
+	b []byte
+	i int
+}
+
+func (g *fuzzGen) byte_() byte {
+	if g.i >= len(g.b) {
+		return 0
+	}
+	v := g.b[g.i]
+	g.i++
+	return v
+}
+
+func (g *fuzzGen) value() data.Value {
+	switch g.byte_() % 10 {
+	case 0:
+		return data.Null()
+	case 1, 2:
+		return data.Int(int64(int8(g.byte_())))
+	case 3, 4:
+		return data.Float(float64(int8(g.byte_())) / 4)
+	case 5:
+		switch g.byte_() % 4 {
+		case 0:
+			return data.Float(math.NaN())
+		case 1:
+			return data.Float(math.Inf(-1))
+		case 2:
+			return data.Float(0)
+		default:
+			return data.Float(-0.0)
+		}
+	case 6:
+		s := [...]string{"", "a", "Hello", "brand_x", "零"}
+		return data.String_(s[int(g.byte_())%len(s)])
+	case 7:
+		return data.Bool(g.byte_()%2 == 0)
+	case 8:
+		return data.Date(int64(g.byte_()) * 97)
+	default:
+		return data.Int(0)
+	}
+}
+
+func (g *fuzzGen) row() data.Row {
+	row := make(data.Row, len(sweepSchema))
+	for i := range row {
+		row[i] = g.value()
+	}
+	return row
+}
+
+func (g *fuzzGen) col() *Col {
+	return C(int(g.byte_())%len(sweepSchema), "")
+}
+
+func (g *fuzzGen) expr(depth int) Expr {
+	op := g.byte_()
+	if depth <= 0 || op < 0x40 {
+		switch op % 3 {
+		case 0:
+			return g.col()
+		case 1:
+			return Lit(g.value())
+		default:
+			return P("p", g.value())
+		}
+	}
+	switch op % 8 {
+	case 0, 1, 2:
+		// All real binary operators plus one out-of-range op (the
+		// interpreter's default: evaluate operands, yield NULL).
+		ops := [...]Op{
+			OpAdd, OpSub, OpMul, OpDiv, OpMod,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+			OpAnd, OpOr, Op(77),
+		}
+		o := ops[int(g.byte_())%len(ops)]
+		return B(o, g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return &Not{g.expr(depth - 1)}
+	case 4:
+		switch g.byte_() % 7 {
+		case 0:
+			return F("upper", g.expr(depth-1))
+		case 1:
+			return F("lower", g.expr(depth-1))
+		case 2:
+			return F("len", g.expr(depth-1))
+		case 3:
+			return F("abs", g.expr(depth-1))
+		case 4:
+			return F("hash", g.expr(depth-1))
+		case 5:
+			return F("year", g.expr(depth-1))
+		default:
+			return F("nosuchfn", g.expr(depth-1))
+		}
+	case 5:
+		return F("substr", g.expr(depth-1),
+			Lit(data.Int(int64(int8(g.byte_())))), Lit(data.Int(int64(int8(g.byte_())))))
+	case 6:
+		switch g.byte_() % 3 {
+		case 0:
+			return F("if", g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+		case 1:
+			return F("concat", g.expr(depth-1), g.expr(depth-1))
+		default:
+			return F("month", g.expr(depth-1))
+		}
+	default:
+		u := &UDF{Name: "u", CodeHash: string('a' + rune(g.byte_()%3)), Args: []Expr{g.expr(depth - 1)}}
+		if g.byte_()%2 == 0 {
+			u.Fn = sweepUDFBody
+		}
+		return u
+	}
+}

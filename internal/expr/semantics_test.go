@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"cloudviews/internal/data"
+)
+
+// TestInterpreterScalarSemantics pins the interpreter's edge-case scalar
+// semantics with a table the compiler is required to reproduce: every case
+// is evaluated through Expr.Eval AND through the compiled program (value
+// form and predicate form), so a compiler that drifts from the interpreter
+// on any of these fails here by name rather than deep inside a golden
+// sweep. The rules pinned:
+//
+//   - float OpMod → NULL (mod is integer-only)
+//   - int and float division by zero → NULL (and int mod by zero → NULL)
+//   - NULL on either side of any arithmetic op → NULL (null propagation
+//     happens before kind dispatch in evalArith)
+//   - Truth() of NULL is false, and Not/And/Or treat non-bool operands
+//     (including NULL) as false rather than erroring
+func TestInterpreterScalarSemantics(t *testing.T) {
+	null := Lit(data.Null())
+	cases := []struct {
+		name string
+		e    Expr
+		want data.Value
+	}{
+		// Float mod is undefined: NULL regardless of operand values, even
+		// when only one side is float.
+		{"float mod -> null", B(OpMod, Lit(data.Float(7.5)), Lit(data.Float(2))), data.Null()},
+		{"mixed mod -> null", B(OpMod, Lit(data.Int(7)), Lit(data.Float(2))), data.Null()},
+		{"float mod by zero -> null", B(OpMod, Lit(data.Float(7)), Lit(data.Float(0))), data.Null()},
+
+		// Division by zero: NULL on both the int and float branches; int
+		// mod by zero likewise (no panic, no Inf).
+		{"int div by zero", B(OpDiv, Lit(data.Int(7)), Lit(data.Int(0))), data.Null()},
+		{"float div by zero", B(OpDiv, Lit(data.Float(7)), Lit(data.Float(0))), data.Null()},
+		{"mixed div by float zero", B(OpDiv, Lit(data.Int(7)), Lit(data.Float(0))), data.Null()},
+		{"int mod by zero", B(OpMod, Lit(data.Int(7)), Lit(data.Int(0))), data.Null()},
+		{"div by nonzero sanity", B(OpDiv, Lit(data.Int(7)), Lit(data.Int(2))), data.Int(3)},
+
+		// Null propagation through evalArith: checked before the float/int
+		// kind split, so NULL + anything is NULL on every operator.
+		{"null + int", B(OpAdd, null, Lit(data.Int(1))), data.Null()},
+		{"int - null", B(OpSub, Lit(data.Int(1)), null), data.Null()},
+		{"null * float", B(OpMul, null, Lit(data.Float(2))), data.Null()},
+		{"null / null", B(OpDiv, null, null), data.Null()},
+		{"null % int", B(OpMod, null, Lit(data.Int(2))), data.Null()},
+		// Null wins over div-by-zero: the null check runs first.
+		{"null / zero", B(OpDiv, null, Lit(data.Int(0))), data.Null()},
+
+		// Truth() of NULL (and of non-bool values) is false; Not/And/Or
+		// build on Truth, so NULL behaves as false, and Not(NULL) is true.
+		{"not null -> true", &Not{null}, data.Bool(true)},
+		{"null and true -> false", And(null, Lit(data.Bool(true))), data.Bool(false)},
+		{"true and null -> false", And(Lit(data.Bool(true)), null), data.Bool(false)},
+		{"null or true -> true", B(OpOr, null, Lit(data.Bool(true))), data.Bool(true)},
+		{"null or false -> false", B(OpOr, null, Lit(data.Bool(false))), data.Bool(false)},
+		// Non-bool truthiness: ints and strings are NOT truthy — Truth
+		// requires KindBool — so 1 AND 1 is false.
+		{"int and int -> false", And(Lit(data.Int(1)), Lit(data.Int(1))), data.Bool(false)},
+		{"not int -> true", &Not{Lit(data.Int(1))}, data.Bool(true)},
+
+		// Comparison NULL semantics inherited from data.Compare: NULL ranks
+		// below everything and equals itself.
+		{"null = null", Eq(null, null), data.Bool(true)},
+		{"null < int", B(OpLt, null, Lit(data.Int(-5))), data.Bool(true)},
+		{"null = int", Eq(null, Lit(data.Int(0))), data.Bool(false)},
+
+		// Mixed int/float arithmetic promotes to float.
+		{"int + float", B(OpAdd, Lit(data.Int(1)), Lit(data.Float(0.5))), data.Float(1.5)},
+
+		// NaN compares equal to everything under data.Compare's </> rules.
+		{"nan = float", Eq(Lit(data.Float(math.NaN())), Lit(data.Float(1))), data.Bool(true)},
+		{"nan < float", B(OpLt, Lit(data.Float(math.NaN())), Lit(data.Float(1))), data.Bool(false)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			interp := tc.e.Eval(testRow)
+			if !valueIdentical(interp, tc.want) {
+				t.Fatalf("interpreter: %s = %v, want %v", tc.e, interp, tc.want)
+			}
+			c := Compile(tc.e, testSchema)
+			if got := c.Eval(c.NewCtx(), testRow); !valueIdentical(got, interp) {
+				t.Errorf("compiled: %s = %v, interpreter says %v", tc.e, got, interp)
+			}
+			if got := c.Truth(c.NewCtx(), testRow); got != interp.Truth() {
+				t.Errorf("compiled pred: %s = %v, interpreter Truth says %v", tc.e, got, interp.Truth())
+			}
+			// And with a nil schema: hints disappear, results must not.
+			cn := Compile(tc.e, nil)
+			if got := cn.Eval(cn.NewCtx(), testRow); !valueIdentical(got, interp) {
+				t.Errorf("compiled (nil schema): %s = %v, interpreter says %v", tc.e, got, interp)
+			}
+		})
+	}
+}
+
+// valueIdentical is the byte-level equality the compiled path is held to:
+// same kind, same integer payload, same float bits (so Int(3) != Float(3),
+// unlike data.Equal, and NaN payloads must match exactly), same string.
+func valueIdentical(a, b data.Value) bool {
+	return a.K == b.K && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}

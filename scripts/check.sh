@@ -19,10 +19,22 @@ go test -race -run='TestSkewStress|TestParallelScheduler|TestViewScanConcurrent|
 # encode/decode multi-partition round trip.
 go test -race -run='TestConsumeCacheConcurrent|TestConcurrentStoreOps|TestMultiPartitionRoundTrip' \
 	-count=1 ./internal/storage/
+# Compiled-expression equivalence, by name: the pinned interpreter edge-
+# case semantics table, the 4000-trial compiled-vs-interpreted golden
+# sweep, and the shared-program race tests (one compiled program across
+# goroutines at the expr level and across partition workers at the exec
+# level).
+go test -run='TestInterpreterScalarSemantics|TestCompiledGoldenEquivalence|TestExecCompiledMatchesInterpreter' \
+	-count=1 ./internal/expr/ ./internal/exec/
+go test -race -run='TestCompiledSharedAcrossGoroutines|TestCompiledSharedAcrossPartitionWorkers' \
+	-count=1 ./internal/expr/ ./internal/exec/
 # Columnar codec fuzz smoke: a short seeded-corpus fuzz run of the
 # encode/decode round trip (all data kinds, NULLs, extreme values,
 # corrupt-payload rejection). Longer runs: go test -fuzz with a budget.
 go test -run='^$' -fuzz='^FuzzColencRoundTrip$' -fuzztime=10s ./internal/data/colenc/
+# Compiled-expression fuzz smoke: random trees x random (wrong-kind, NULL,
+# NaN) rows, compiled output must be bit-identical to the interpreter.
+go test -run='^$' -fuzz='^FuzzCompiledEval$' -fuzztime=10s ./internal/expr/
 # Analyzer scale-out under the race detector, by name: the golden
 # serial-vs-parallel equivalence sweep (every strategy and admin knob) and
 # the concurrent Append-while-Analyze soak over the zero-copy snapshot.
@@ -36,6 +48,9 @@ CHAOS_ROUNDS="${CHAOS_ROUNDS:-2}" go test -race -run='TestChaosSoak' -count=1 ./
 # Exec kernel benchmark smoke: one iteration of every data-plane benchmark
 # exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
 go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
+# Expression-compiler benchmark smoke: compile cost plus the per-row
+# interp-vs-compiled pairs (full numbers live in EXPERIMENTS.md).
+go test -run='^$' -bench='^BenchmarkExpr' -benchtime=1x ./internal/expr/
 # Storage benchmark smoke: codec, store write/consume, and the end-to-end
 # reuse-hit job (full runs + BENCH_storage.json live in bench.sh).
 go test -run='^$' -bench='^BenchmarkColenc|^BenchmarkStorage' -benchtime=1x \
