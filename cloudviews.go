@@ -147,6 +147,30 @@ type (
 // NewService wires a complete in-process job service around a catalog.
 var NewService = core.NewService
 
+// JobError is the typed failure the lifecycle layer returns — the job
+// that failed, a JobErrorReason (cancelled / deadline / shed /
+// dependency), and the underlying cause reachable via errors.Is/As.
+// Submissions with per-job deadlines (JobSpec.Deadline on the logical
+// clock) or cancellable contexts go through Service.SubmitCtx; graceful
+// shutdown through Service.Drain, after which submissions fail shed with
+// ErrDraining as the cause.
+type (
+	JobError       = core.JobError
+	JobErrorReason = core.JobErrorReason
+)
+
+// Lifecycle failure reasons carried by JobError.
+const (
+	ReasonCancelled  = core.ReasonCancelled
+	ReasonDeadline   = core.ReasonDeadline
+	ReasonShed       = core.ReasonShed
+	ReasonDependency = core.ReasonDependency
+)
+
+// ErrDraining is the cause inside the shed JobError returned for
+// submissions arriving after Service.Drain began.
+var ErrDraining = core.ErrDraining
+
 // FaultConfig sets the per-class probabilities of a seeded fault schedule;
 // FaultInjector is the deterministic injector Service.InstallFaults wires
 // into every layer; RecoveryStats is the service-wide recovery counters
@@ -241,9 +265,11 @@ func SubmitJob(s *Service, meta JobMeta, root *Plan) (*JobResult, error) {
 }
 
 // SubmitBatch submits a batch of jobs with up to concurrency in flight
-// (≤ 0 means one per CPU), returning results in submission order. Jobs in
+// (≤ 1 means one per CPU), returning results in submission order. Jobs in
 // a batch coordinate view builds through the metadata service exactly as
-// concurrently arriving production jobs do (§6.5).
+// concurrently arriving production jobs do (§6.5). When jobs fail, the
+// returned error joins every per-job failure (errors.Join) and the result
+// slice keeps the successful jobs at their submission indexes.
 func SubmitBatch(s *Service, specs []JobSpec, concurrency int) ([]*JobResult, error) {
 	return s.SubmitBatch(specs, concurrency)
 }

@@ -169,6 +169,54 @@ func (s *Scheduler) Admit(vcName string, tokens int, at, duration int64) (start 
 	return start, nil
 }
 
+// EarliestStart estimates, without reserving anything, the earliest time a
+// job of the given token demand and duration submitted at time at could
+// start on the VC. Admission control uses it to shed jobs whose deadline
+// is provably unreachable before any work is done on their behalf. The
+// estimate is exact for the ledger as it stands — an actual Admit at the
+// same instant returns the same start (injected admission delays excluded,
+// since shedding should reflect real queue pressure, not injected chaos) —
+// but is only a lower bound on the eventual start if competing jobs are
+// admitted in between.
+func (s *Scheduler) EarliestStart(vcName string, tokens int, at, duration int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vcName]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown VC %q", vcName)
+	}
+	if tokens > vc.Capacity {
+		return 0, fmt.Errorf("cluster: job wants %d tokens, VC %s has %d", tokens, vcName, vc.Capacity)
+	}
+	if tokens < 1 {
+		tokens = 1
+	}
+	if duration < 1 {
+		duration = 1
+	}
+	vc.retire(at)
+	return vc.earliestFit(tokens, at, duration), nil
+}
+
+// LiveReservations returns the number of reservations on the VC still
+// holding tokens at time now (started or future, not yet ended). Lifecycle
+// tests use it to prove cancelled and shed jobs left nothing behind.
+func (s *Scheduler) LiveReservations(vcName string, now int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc, ok := s.vcs[vcName]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, r := range vc.resv {
+		if r.end > now {
+			n++
+		}
+	}
+	return n
+}
+
 // earliestFit scans candidate start times: the submission time and the end
 // of each live reservation after it. The live ledger is already sorted by
 // end, so the candidate list comes out sorted for free.

@@ -1,10 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"cloudviews/internal/fault"
 )
@@ -36,7 +42,15 @@ func chaosRounds() int {
 // Single-partition transient vertex failures must recover via retry — with
 // the configured rates no job is expected to fail at all; any submission
 // error fails the test.
+//
+// Each round additionally runs a lifecycle wave on top of the fault
+// schedule: jobs with randomized mid-flight cancellations, pre-cancelled
+// contexts, and tight logical-clock deadlines. A wave job either succeeds
+// or fails with a typed *JobError (cancelled/deadline/shed) — and a failed
+// job must leave nothing behind: no build locks, no published views, no
+// store files, and no leaked goroutines once the soak ends.
 func TestChaosSoak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
 	rounds := chaosRounds()
 	const (
 		instancesPerRound = 3
@@ -96,6 +110,91 @@ func TestChaosSoak(t *testing.T) {
 			}
 		}
 
+		// Lifecycle wave: cancellations and tight deadlines under the same
+		// fault schedule. Modes rotate deterministically; the mid-flight
+		// cancel delay is wall-clock (cancellation is asynchronous by
+		// nature), so whether those jobs finish first is racy — both
+		// outcomes must satisfy the invariants below.
+		waveRng := rand.New(rand.NewSource(int64(9000 + round)))
+		const waveJobs = 8
+		waveErr := make([]error, waveJobs)
+		waveID := make([]string, waveJobs)
+		delays := make([]time.Duration, waveJobs)
+		for j := range delays {
+			delays[j] = time.Duration(waveRng.Int63n(int64(2 * time.Millisecond)))
+		}
+		var wg sync.WaitGroup
+		for j := 0; j < waveJobs; j++ {
+			id := fmt.Sprintf("r%d-wave-%d", round, j)
+			waveID[j] = id
+			var spec JobSpec
+			if j%2 == 0 {
+				spec = specA(id, instancesPerRound)
+			} else {
+				spec = specB(id, instancesPerRound)
+			}
+			mode := j % 4
+			wg.Add(1)
+			go func(j int, spec JobSpec, mode int, delay time.Duration) {
+				defer wg.Done()
+				ctx := context.Background()
+				switch mode {
+				case 0: // clean lifecycle, chaos only
+				case 1: // mid-flight cancel after a tiny wall delay
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					timer := time.AfterFunc(delay, cancel)
+					defer timer.Stop()
+					defer cancel()
+				case 2: // pre-cancelled: must never execute
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+				case 3: // unmeetable deadline on the logical clock
+					spec.Deadline = s.Clock.Now() + 1
+				}
+				_, waveErr[j] = s.SubmitCtx(ctx, spec)
+			}(j, spec, mode, delays[j])
+		}
+		wg.Wait()
+		failedWave := map[string]bool{}
+		for j, err := range waveErr {
+			if err == nil {
+				continue
+			}
+			var je *JobError
+			if !errors.As(err, &je) {
+				t.Fatalf("round %d: wave job %s failed without a typed JobError: %v", round, waveID[j], err)
+			}
+			switch je.Reason {
+			case ReasonCancelled, ReasonDeadline, ReasonShed:
+			default:
+				t.Fatalf("round %d: wave job %s failed with reason %v: %v", round, waveID[j], je.Reason, err)
+			}
+			failedWave[waveID[j]] = true
+		}
+		if !failedWave[waveID[2]] { // mode 2 is pre-cancelled
+			t.Fatalf("round %d: pre-cancelled wave job succeeded", round)
+		}
+		totalJobs += waveJobs
+		// Failed wave jobs must have published nothing.
+		for _, mv := range s.Meta.Views() {
+			if failedWave[mv.ProducerJobID] {
+				t.Fatalf("round %d: failed wave job %s left published view %s", round, mv.ProducerJobID, mv.Path)
+			}
+		}
+		for _, sv := range s.Store.Views() {
+			if failedWave[sv.ProducerJobID] {
+				t.Fatalf("round %d: failed wave job %s left file %s in the store", round, sv.ProducerJobID, sv.Path)
+			}
+		}
+		// Store↔metadata consistency held through the wave's retractions.
+		for _, mv := range s.Meta.Views() {
+			if _, err := s.Store.Get(mv.Path); err != nil {
+				t.Fatalf("round %d: after wave, metadata references missing file %s", round, mv.Path)
+			}
+		}
+
 		// Faults off: the service must be fully live again.
 		s.InstallFaults(nil)
 		if _, _, locks, _, _ := s.Meta.Stats(); locks != 0 {
@@ -115,6 +214,11 @@ func TestChaosSoak(t *testing.T) {
 		agg.QuarantinedViews += rec.QuarantinedViews
 		agg.DegradedReplans += rec.DegradedReplans
 		agg.ReuseSkipped += rec.ReuseSkipped
+		agg.Shed += rec.Shed
+		agg.DeadlineExceeded += rec.DeadlineExceeded
+		agg.Cancelled += rec.Cancelled
+		agg.BreakerOpens += rec.BreakerOpens
+		agg.BreakerShortCircuits += rec.BreakerShortCircuits
 		if fired := in.TotalFired(); fired == 0 {
 			t.Fatalf("round %d: injector fired nothing — the soak tested nothing", round)
 		}
@@ -129,6 +233,34 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if agg.ReuseSkipped == 0 {
 		t.Error("no degraded lookups over the whole soak — blackout path untested")
+	}
+	// The lifecycle wave must actually have exercised the lifecycle paths:
+	// every round carries one pre-cancelled job and one unmeetable
+	// deadline (which sheds or trips mid-run depending on queue state).
+	if agg.Cancelled == 0 {
+		t.Error("no cancellations over the whole soak — cancel path untested")
+	}
+	if agg.DeadlineExceeded+agg.Shed == 0 {
+		t.Error("no deadline/shed failures over the whole soak — deadline path untested")
+	}
+
+	// Goroutine hygiene: every submission goroutine, DAG worker, and
+	// context watcher must have wound down. Poll briefly — runtime
+	// bookkeeping (GC workers, finished goroutines not yet reaped) settles
+	// asynchronously.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+3 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live vs %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
 	}
 	t.Logf("chaos soak: %d jobs, recovery=%+v", totalJobs, agg)
 }

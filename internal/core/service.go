@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"cloudviews/internal/analyzer"
+	"cloudviews/internal/breaker"
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/data"
@@ -60,7 +62,30 @@ type Config struct {
 	// served zero-copy to repeat consumers). Zero keeps the store's
 	// default budget; negative disables the cache.
 	CacheBytes int64
+	// MaxInFlight bounds how many submissions may execute concurrently;
+	// excess submissions queue for a slot (respecting their context).
+	// Zero means unbounded.
+	MaxInFlight int
+	// DefaultDeadline, when positive, gives every job without an explicit
+	// JobSpec.Deadline an absolute deadline of submission time plus this
+	// many logical-clock units. Zero means jobs have no default deadline.
+	DefaultDeadline int64
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// dependency circuit breaker (metadata lookups, view-store reads).
+	// Zero selects the default (5); negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long (logical-clock units) an open breaker
+	// waits before letting a half-open probe through. Zero selects the
+	// default (60).
+	BreakerCooldown int64
 }
+
+// Defaults for the dependency circuit breakers (Config.BreakerThreshold,
+// Config.BreakerCooldown).
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 60
+)
 
 // JobSpec is one job submission.
 type JobSpec struct {
@@ -73,6 +98,12 @@ type JobSpec struct {
 	// Tokens is the job's VC capacity demand (used when a scheduler is
 	// attached).
 	Tokens int
+	// Deadline is the job's absolute logical-clock deadline. A job whose
+	// simulated completion time would pass it fails with a ReasonDeadline
+	// JobError; one that provably cannot start in time is shed before
+	// execution. Zero means no explicit deadline (Config.DefaultDeadline
+	// may still apply).
+	Deadline int64
 }
 
 // JobResult reports one completed job.
@@ -105,18 +136,40 @@ type Service struct {
 
 	changes  changeTracker
 	recovery recoveryCounters
+	admit    admission
+
+	// Dependency circuit breakers (nil when Config.BreakerThreshold < 0):
+	// metaBreaker guards metadata lookups, storeBreaker guards view-store
+	// reads. Both run on the simulated clock.
+	metaBreaker  *breaker.Breaker
+	storeBreaker *breaker.Breaker
 }
 
-// RecoveryStats snapshots the service's fault-recovery counters: how many
-// vertex attempts were retried, how many views were quarantined after
-// failing integrity/existence checks, how many mid-submit replans those
-// quarantines forced, and how many jobs skipped reuse because the metadata
-// service was unreachable.
+// RecoveryStats snapshots the service's fault-recovery and lifecycle
+// counters: how many vertex attempts were retried, how many views were
+// quarantined after failing integrity/existence checks, how many
+// mid-submit replans those quarantines forced, how many jobs skipped
+// reuse because the metadata service was unreachable (or its breaker
+// open), plus the lifecycle outcomes (shed / deadline / cancelled jobs)
+// and the dependency circuit breakers' trip and short-circuit counts.
 type RecoveryStats struct {
 	VertexRetries    int64
 	QuarantinedViews int64
 	DegradedReplans  int64
 	ReuseSkipped     int64
+	// Shed counts jobs rejected by admission control before execution
+	// (queue-time estimate past the deadline, or service draining).
+	Shed int64
+	// DeadlineExceeded counts jobs that failed because their simulated
+	// completion time passed their logical-clock deadline.
+	DeadlineExceeded int64
+	// Cancelled counts jobs stopped by submission-context cancellation.
+	Cancelled int64
+	// BreakerOpens counts closed→open transitions across the dependency
+	// breakers; BreakerShortCircuits counts requests turned away at an
+	// open breaker without touching the dependency.
+	BreakerOpens         int64
+	BreakerShortCircuits int64
 }
 
 type recoveryCounters struct {
@@ -124,16 +177,29 @@ type recoveryCounters struct {
 	quarantined atomic.Int64
 	replans     atomic.Int64
 	reuseSkip   atomic.Int64
+	shed        atomic.Int64
+	deadline    atomic.Int64
+	cancelled   atomic.Int64
 }
 
 // Recovery returns the service's fault-recovery counters.
 func (s *Service) Recovery() RecoveryStats {
-	return RecoveryStats{
+	rs := RecoveryStats{
 		VertexRetries:    s.recovery.retries.Load(),
 		QuarantinedViews: s.recovery.quarantined.Load(),
 		DegradedReplans:  s.recovery.replans.Load(),
 		ReuseSkipped:     s.recovery.reuseSkip.Load(),
+		Shed:             s.recovery.shed.Load(),
+		DeadlineExceeded: s.recovery.deadline.Load(),
+		Cancelled:        s.recovery.cancelled.Load(),
 	}
+	for _, b := range []*breaker.Breaker{s.metaBreaker, s.storeBreaker} {
+		if b != nil {
+			rs.BreakerOpens += b.Opens()
+			rs.BreakerShortCircuits += b.ShortCircuits()
+		}
+	}
+	return rs
 }
 
 // StorageStats snapshots the storage layer's byte gauges: how many
@@ -209,6 +275,31 @@ func NewService(cat *catalog.Catalog, cfg Config) *Service {
 		},
 		Config: cfg,
 	}
+	if cfg.BreakerThreshold >= 0 {
+		thr := cfg.BreakerThreshold
+		if thr == 0 {
+			thr = defaultBreakerThreshold
+		}
+		cd := cfg.BreakerCooldown
+		if cd == 0 {
+			cd = defaultBreakerCooldown
+		}
+		s.metaBreaker = breaker.New("metadata", thr, cd)
+		s.storeBreaker = breaker.New("viewstore", thr, cd)
+		// View-store reads flow through the store's admission gate: an
+		// open breaker short-circuits the read with OpenError (which the
+		// replan loop degrades around), and every real read outcome feeds
+		// the breaker.
+		st.Gate = func(string) error {
+			if !s.storeBreaker.Allow(s.Clock.Now()) {
+				return &breaker.OpenError{Dep: "viewstore"}
+			}
+			return nil
+		}
+		st.OnConsume = func(_ string, err error) {
+			s.storeBreaker.Observe(s.Clock.Now(), err == nil)
+		}
+	}
 	return s
 }
 
@@ -240,7 +331,15 @@ func defaultTags(spec JobSpec) []string {
 // in the workload repository. User scripts (plans) are never modified —
 // optimization operates on an internal clone (transparency, §4).
 func (s *Service) Submit(spec JobSpec) (*JobResult, error) {
-	return s.submitAt(spec, s.Clock.Now())
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with a caller-controlled lifecycle: cancelling ctx
+// stops the job at the next vertex or chunk boundary, releases its build
+// locks and reservations, retracts any views it published, and returns a
+// ReasonCancelled JobError.
+func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	return s.submitAt(ctx, spec, s.Clock.Now())
 }
 
 // SubmitBatch runs a batch of jobs through the pipeline with up to
@@ -262,12 +361,28 @@ func (s *Service) Submit(spec JobSpec) (*JobResult, error) {
 // Each job runs against a private clone of its plan, so specs may share
 // subtrees (or whole plans) with each other and with the caller.
 func (s *Service) SubmitBatch(specs []JobSpec, concurrency int) ([]*JobResult, error) {
+	return s.SubmitBatchCtx(context.Background(), specs, concurrency)
+}
+
+// batchConcurrency resolves the SubmitBatch concurrency argument: ≤ 1
+// means one worker per CPU (a single caller-managed worker is what plain
+// Submit is for).
+func batchConcurrency(c int) int {
+	if c <= 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// SubmitBatchCtx is SubmitBatch under one shared submission context:
+// cancelling ctx stops every job still in flight. Per-job failures are
+// aggregated with errors.Join — results keeps its per-index entries, and
+// each joined error is wrapped with the batch index and job ID.
+func (s *Service) SubmitBatchCtx(ctx context.Context, specs []JobSpec, concurrency int) ([]*JobResult, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
-	if concurrency < 1 {
-		concurrency = runtime.GOMAXPROCS(0)
-	}
+	concurrency = batchConcurrency(concurrency)
 	now := s.Clock.Now()
 	// Clone every plan up front, serially: plan nodes memoize derived
 	// state (schemas) in place, which would race if two in-flight jobs
@@ -287,21 +402,51 @@ func (s *Service) SubmitBatch(specs []JobSpec, concurrency int) ([]*JobResult, e
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = s.submitAt(jobs[i], now)
+			results[i], errs[i] = s.submitAt(ctx, jobs[i], now)
 		}(i)
 	}
 	wg.Wait()
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("core: batch job %d (%s): %w", i, jobs[i].Meta.JobID, err)
+			joined = append(joined, fmt.Errorf("core: batch job %d (%s): %w", i, jobs[i].Meta.JobID, err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(joined...)
 }
 
 // submitAt is Submit with an explicit submission time, shared by the
-// serial and batched paths.
-func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
+// serial and batched paths. It runs the lifecycle gauntlet in order:
+// admission (in-flight slot, draining latch), deadline resolution,
+// deadline-aware shedding against the cluster ledger, then the breaker-
+// gated planning and recovering execution pipeline. Every lifecycle
+// failure comes back as a typed *JobError.
+func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobResult, error) {
+	jobID := spec.Meta.JobID
+	if err := s.admit.enter(ctx, s.Config.MaxInFlight); err != nil {
+		return nil, s.lifecycleError(jobID, err)
+	}
+	defer s.admit.exit()
+	if err := ctx.Err(); err != nil {
+		return nil, s.lifecycleError(jobID, err)
+	}
+
+	deadline := s.jobDeadline(spec, now)
+	if deadline > 0 && s.Sched != nil {
+		// Load shedding: if the ledger says the job cannot even start
+		// (minimum duration) before its deadline, reject it up front
+		// rather than burn cluster work on a guaranteed deadline miss.
+		tokens := spec.Tokens
+		if tokens < 1 {
+			tokens = 1
+		}
+		if est, serr := s.Sched.EarliestStart(spec.Meta.VC, tokens, now, 1); serr == nil && est >= deadline {
+			s.recovery.shed.Add(1)
+			return nil, &JobError{JobID: jobID, Reason: ReasonShed,
+				Err: fmt.Errorf("core: earliest start %d cannot meet deadline %d", est, deadline)}
+		}
+	}
+
 	jr := &JobResult{Spec: spec, Plan: spec.Root, Decision: &optimizer.Decision{}}
 
 	if s.vcEnabled(spec.Meta.VC) {
@@ -310,9 +455,9 @@ func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
 		}
 	}
 
-	res, err := s.executeRecovering(jr, spec, now)
+	res, err := s.executeRecovering(ctx, jr, spec, now, deadline)
 	if err != nil {
-		return nil, err
+		return nil, s.lifecycleError(jobID, err)
 	}
 	jr.Result = res
 	s.recovery.retries.Add(int64(res.Retries))
@@ -354,12 +499,33 @@ func (s *Service) submitAt(spec JobSpec, now int64) (*JobResult, error) {
 // one submission attempt, implementing the first rung of the degradation
 // ladder: when the metadata service is unreachable (and MetadataStrict is
 // off), the job simply keeps its original plan — reuse skipped, counted,
-// never fatal.
+// never fatal. Both dependency breakers gate the attempt: an open
+// view-store breaker makes selecting views pointless (reads would only
+// short-circuit), and an open metadata breaker skips the lookup without
+// touching the unhealthy service at all.
 func (s *Service) planWithReuse(jr *JobResult, spec JobSpec, now int64) error {
+	if s.storeBreaker != nil && !s.storeBreaker.Ready(now) {
+		s.recovery.reuseSkip.Add(1)
+		jr.Plan = spec.Root
+		jr.Decision = &optimizer.Decision{BreakerOpen: s.storeBreaker.Name()}
+		jr.AnnotationsUsed = nil
+		return nil
+	}
+	if s.metaBreaker != nil && !s.metaBreaker.Allow(now) {
+		s.recovery.reuseSkip.Add(1)
+		jr.Plan = spec.Root
+		jr.Decision = &optimizer.Decision{MetaUnavailable: true, BreakerOpen: s.metaBreaker.Name()}
+		jr.AnnotationsUsed = nil
+		return nil
+	}
 	anns, err := s.Meta.TryRelevantViews(spec.Meta.VC, defaultTags(spec))
+	if s.metaBreaker != nil {
+		s.metaBreaker.Observe(now, err == nil)
+	}
 	if err != nil {
 		if s.Config.MetadataStrict {
-			return fmt.Errorf("core: metadata lookup for job %s: %w", spec.Meta.JobID, err)
+			return &JobError{JobID: spec.Meta.JobID, Reason: ReasonDependency,
+				Err: fmt.Errorf("core: metadata lookup for job %s: %w", spec.Meta.JobID, err)}
 		}
 		s.recovery.reuseSkip.Add(1)
 		jr.Plan = spec.Root
@@ -384,13 +550,28 @@ const maxReplans = 4
 // plan, which can no longer select the quarantined view. Transient vertex
 // failures never reach this level (the executor's retry loop absorbs
 // them); permanent non-view failures propagate unchanged.
-func (s *Service) executeRecovering(jr *JobResult, spec JobSpec, now int64) (*exec.Result, error) {
+func (s *Service) executeRecovering(ctx context.Context, jr *JobResult, spec JobSpec, now, deadline int64) (*exec.Result, error) {
 	var quarantined []string
 	for replan := 0; ; replan++ {
-		res, err := s.execute(jr.Plan, spec, jr.Decision, now)
+		res, err := s.execute(ctx, jr.Plan, spec, jr.Decision, now, deadline)
 		if err == nil {
 			jr.Decision.QuarantinedViews = quarantined
 			return res, nil
+		}
+		// A view read short-circuited by the store's open breaker is not a
+		// broken view — the dependency is unhealthy, not the payload. Replan
+		// without quarantining: planWithReuse sees the open breaker and
+		// degrades the job to its baseline plan.
+		var oe *breaker.OpenError
+		if errors.As(err, &oe) {
+			if replan >= maxReplans || !s.vcEnabled(spec.Meta.VC) {
+				return nil, err
+			}
+			s.recovery.replans.Add(1)
+			if perr := s.planWithReuse(jr, spec, now); perr != nil {
+				return nil, perr
+			}
+			continue
 		}
 		sig, path, ok := viewFailure(err, jr.Decision)
 		if !ok || replan >= maxReplans || !s.vcEnabled(spec.Meta.VC) {
@@ -435,7 +616,10 @@ func viewFailure(err error, dec *optimizer.Decision) (sig, path string, ok bool)
 // execute runs the plan with the early-materialization hook wired: each
 // view is published to the metadata service the instant its files seal,
 // and build locks for views that never sealed are released on failure.
-func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision, now int64) (*exec.Result, error) {
+// A job stopped by cancellation or a deadline additionally retracts the
+// views it already published — a job that did not finish leaves nothing
+// behind.
+func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, dec *optimizer.Decision, now, deadline int64) (*exec.Result, error) {
 	intents := map[string]optimizer.BuildIntent{}
 	for _, b := range dec.ViewsBuilt {
 		intents[b.PreciseSig] = b
@@ -443,9 +627,10 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 	// Independent Materialize operators can seal concurrently under the
 	// parallel DAG scheduler, so the hook's bookkeeping takes its own
 	// lock. The maps are read lock-free after ex.Run returns (all workers
-	// have joined by then).
+	// have joined by then). sealed maps precise signature → view path so
+	// lifecycle retraction can reach the file.
 	var hookMu sync.Mutex
-	sealed := map[string]bool{}
+	sealed := map[string]string{}
 	var pending []metadata.ViewInfo
 
 	ex := *s.Exec // copy so per-job hooks don't race across submissions
@@ -483,11 +668,11 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 		s.Meta.ReportMaterialized(info)
 		s.changes.recordBuild()
 		hookMu.Lock()
-		sealed[v.PreciseSig] = true
+		sealed[v.PreciseSig] = v.Path
 		hookMu.Unlock()
 	}
 
-	res, err := ex.Run(root, spec.Meta.JobID, now)
+	res, err := ex.RunCtx(ctx, root, spec.Meta.JobID, now, deadline)
 	if err != nil {
 		// Early mode: views already sealed survive (checkpoint
 		// semantics); locks for unsealed views are released so another
@@ -497,8 +682,19 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 			s.Store.Delete(p.Path)
 		}
 		for sig := range intents {
-			if !sealed[sig] {
+			if _, ok := sealed[sig]; !ok {
 				s.Meta.AbortMaterialize(sig, spec.Meta.JobID)
+			}
+		}
+		// A cancelled or deadline-failed job is not a checkpoint — it must
+		// leave nothing published. Retract early-published views too:
+		// deregister before deleting the file (the §5.4 ordering), so an
+		// in-flight consumer degrades via the quarantine path instead of
+		// reading a dangling registration.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			for sig, path := range sealed {
+				s.Meta.Unregister(sig)
+				s.Store.Delete(path)
 			}
 		}
 		return nil, err
@@ -506,7 +702,7 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 	for _, p := range pending {
 		s.Meta.ReportMaterialized(p)
 		s.changes.recordBuild()
-		sealed[p.PreciseSig] = true
+		sealed[p.PreciseSig] = p.Path
 	}
 	if len(sealed) < len(intents) {
 		// An intended view never sealed: this job's Materialize lost the
@@ -515,7 +711,7 @@ func (s *Service) execute(root *plan.Node, spec JobSpec, dec *optimizer.Decision
 		// job actually published in its decision.
 		kept := dec.ViewsBuilt[:0]
 		for _, b := range dec.ViewsBuilt {
-			if sealed[b.PreciseSig] {
+			if _, ok := sealed[b.PreciseSig]; ok {
 				kept = append(kept, b)
 			} else {
 				s.Meta.AbortMaterialize(b.PreciseSig, spec.Meta.JobID)
@@ -579,7 +775,7 @@ func (s *Service) RunOfflinePhase(spec JobSpec) (int, error) {
 	built := 0
 	for i, p := range plans {
 		dec := &optimizer.Decision{ViewsBuilt: []optimizer.BuildIntent{intents[i]}}
-		if _, err := s.execute(p, spec, dec, now); err != nil {
+		if _, err := s.execute(context.Background(), p, spec, dec, now, 0); err != nil {
 			return built, err
 		}
 		built++

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 )
@@ -363,9 +365,14 @@ func keyEqual(key data.Row, r data.Row, groupBy []int) bool {
 	return true
 }
 
-func applyHashAgg(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applyHashAgg(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	inSchema := n.Children[0].Schema()
 	scan := func(t *aggTable, part []data.Row) {
+		// Chunk-boundary cancellation poll: a cancelled job leaves the
+		// table partial; the vertex checkpoint discards it.
+		if ctx.Err() != nil {
+			return
+		}
 		if t.fastCol >= 0 {
 			for _, r := range part {
 				t.update(t.groupForIntRow(r), r)
@@ -446,8 +453,8 @@ func applyHashAgg(n *plan.Node, in partitions, inStats *Stats) (partitions, int6
 	return out, -1, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyStreamAgg(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
-	rows := sortedFlatten(in, inStats.Rows, n.GroupBy, nil)
+func applyStreamAgg(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	rows := sortedFlatten(ctx, in, inStats.Rows, n.GroupBy, nil)
 	inSchema := n.Children[0].Schema()
 	t := newAggTable(n, inSchema, 16)
 	cur := int32(-1)

@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -172,6 +173,13 @@ type execState struct {
 	memo map[*plan.Node]partitions
 	now  int64
 	job  string
+	// ctx is the job's lifecycle context; kernels poll it at chunk
+	// boundaries and runVertex enforces it at vertex boundaries.
+	ctx context.Context
+	// deadline is the job's absolute logical-clock deadline (0 = none). A
+	// vertex whose simulated completion time (now + latency) passes it
+	// fails the job with context.DeadlineExceeded in its error chain.
+	deadline int64
 	// sites maps each node to its scheduler-independent fault-site key,
 	// "<ordinal in plan.Nodes order>/<op kind>".
 	sites map[*plan.Node]string
@@ -192,6 +200,39 @@ func (st *execState) noteRetry(wait float64) {
 	st.mu.Unlock()
 }
 
+// checkpoint is the authoritative cancellation check at vertex boundaries:
+// it fails the vertex the moment the job's context is done. Kernels also
+// poll the context at chunk boundaries, but those polls only bail early
+// (possibly leaving partial output, possibly missing a late cancel) — the
+// vertex-boundary checkpoint is what guarantees partial kernel output is
+// never consumed: a parent vertex checkpoints before touching child
+// output, and Run checkpoints once more after the walk so a partial root
+// can never masquerade as a completed job.
+func (st *execState) checkpoint() error {
+	if err := st.ctx.Err(); err != nil {
+		return fmt.Errorf("exec: job %s stopped at cancellation checkpoint: %w", st.job, err)
+	}
+	return nil
+}
+
+// pastDeadline reports whether a vertex completing at simulated latency
+// (relative to the job's submission instant st.now) lands past the job's
+// absolute deadline. Node latency is monotone up the tree (max over
+// children + own share), so "some vertex trips this" is equivalent to
+// "the root would trip this": the job's outcome is deterministic even
+// though which vertex catches it first varies under the DAG scheduler.
+func (st *execState) pastDeadline(latency float64) bool {
+	return st.deadline > 0 && float64(st.now)+latency > float64(st.deadline)
+}
+
+// deadlineErr builds the deadline failure. The message deliberately names
+// only the job — never the catching vertex, which is scheduler-dependent —
+// so serial and DAG executions fail byte-identically.
+func (st *execState) deadlineErr() error {
+	return fmt.Errorf("exec: job %s: simulated completion time passes the deadline (t=%d): %w",
+		st.job, st.deadline, context.DeadlineExceeded)
+}
+
 // Run executes the plan rooted at root. jobID tags provenance of any views
 // materialized; now is the simulated time used for view creation stamps.
 //
@@ -204,15 +245,28 @@ func (st *execState) noteRetry(wait float64) {
 // completion order, so serial and scheduled executions produce
 // byte-identical results even under a deterministic fault schedule.
 func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error) {
+	return e.RunCtx(context.Background(), root, jobID, now, 0)
+}
+
+// RunCtx is Run under a job lifecycle: ctx cancellation stops execution
+// cooperatively — checked authoritatively at every vertex boundary and
+// polled at chunk boundaries inside the long kernels — and deadline (an
+// absolute logical-clock instant, 0 = none) fails the job with
+// context.DeadlineExceeded as soon as any vertex's simulated completion
+// time passes it. Deadline enforcement is simulated-time against simulated
+// cost, so it is as deterministic as the cost model; wall-clock has no say.
+func (e *Executor) RunCtx(ctx context.Context, root *plan.Node, jobID string, now int64, deadline int64) (*Result, error) {
 	st := &execState{
 		res: &Result{
 			Outputs:   map[string][]data.Row{},
 			NodeStats: map[*plan.Node]*Stats{},
 		},
-		memo:  map[*plan.Node]partitions{},
-		now:   now,
-		job:   jobID,
-		sites: map[*plan.Node]string{},
+		memo:     map[*plan.Node]partitions{},
+		now:      now,
+		job:      jobID,
+		ctx:      ctx,
+		deadline: deadline,
+		sites:    map[*plan.Node]string{},
 	}
 	for i, n := range plan.Nodes(root) {
 		st.sites[n] = fmt.Sprintf("%d/%s", i, n.Kind)
@@ -223,6 +277,12 @@ func (e *Executor) Run(root *plan.Node, jobID string, now int64) (*Result, error
 			return nil, err
 		}
 	} else if err := e.runDAG(root, st); err != nil {
+		return nil, err
+	}
+	// Final checkpoint: a cancel that landed inside the root vertex's
+	// kernel (which bails without error, leaving partial output) must not
+	// surface as a successful result.
+	if err := st.checkpoint(); err != nil {
 		return nil, err
 	}
 	// Sum exclusive costs in deterministic plan order: float addition is
@@ -267,6 +327,9 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 
 	ns := nodeStats(out, outBytes, cost, childLatency, childCumCost)
 	ns.Latency += extra
+	if st.pastDeadline(ns.Latency) {
+		return nil, st.deadlineErr()
+	}
 	st.res.NodeStats[n] = ns
 	st.memo[n] = out
 	return out, nil
@@ -284,6 +347,11 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, float64, error) {
 	policy := e.Retry.withDefaults()
 	site := st.sites[n]
+	// Vertex-boundary cancellation checkpoint — also the guard that keeps
+	// any partial output a cancelled child kernel produced from being read.
+	if err := st.checkpoint(); err != nil {
+		return nil, 0, 0, 0, err
+	}
 	var extra float64
 	for attempt := 0; ; attempt++ {
 		out, outBytes, cost, err := e.apply(n, in, inStats, st)
@@ -303,6 +371,11 @@ func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st
 		}
 		if attempt+1 >= policy.MaxAttempts {
 			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: attempts exhausted: %w", site, err)
+		}
+		// Re-check the lifecycle before burning a retry: a cancelled job
+		// must not keep re-running a crashing vertex.
+		if cerr := st.checkpoint(); cerr != nil {
+			return nil, 0, 0, 0, cerr
 		}
 		if st.budget.Add(-1) < 0 {
 			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: job retry budget exhausted: %w", site, err)
@@ -363,33 +436,34 @@ func latencyShare(cost float64, out partitions, total int64) float64 {
 // and its exclusive simulated cost. Input sizes come from the children's
 // already-recorded Stats, never from re-walking the input rows.
 func (e *Executor) apply(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, error) {
+	ctx := st.ctx
 	switch n.Kind {
 	case plan.OpExtract:
 		return e.applyExtract(n)
 	case plan.OpViewScan:
-		return e.applyViewScan(n)
+		return e.applyViewScan(n, st)
 	case plan.OpFilter:
-		return applyFilter(n, in[0], inStats[0])
+		return applyFilter(ctx, n, in[0], inStats[0])
 	case plan.OpProject:
-		return applyProject(n, in[0], inStats[0])
+		return applyProject(ctx, n, in[0], inStats[0])
 	case plan.OpExchange:
-		return applyExchange(n, in[0], inStats[0])
+		return applyExchange(ctx, n, in[0], inStats[0])
 	case plan.OpHashJoin, plan.OpMergeJoin:
-		return applyJoin(n, in[0], in[1], inStats[0], inStats[1])
+		return applyJoin(ctx, n, in[0], in[1], inStats[0], inStats[1])
 	case plan.OpHashGbAgg:
-		return applyHashAgg(n, in[0], inStats[0])
+		return applyHashAgg(ctx, n, in[0], inStats[0])
 	case plan.OpStreamGbAgg:
-		return applyStreamAgg(n, in[0], inStats[0])
+		return applyStreamAgg(ctx, n, in[0], inStats[0])
 	case plan.OpSort:
-		return applySort(n, in[0], inStats[0])
+		return applySort(ctx, n, in[0], inStats[0])
 	case plan.OpTop:
 		return applyTop(n, in[0], inStats[0])
 	case plan.OpUnionAll:
 		return applyUnion(n, in, inStats)
 	case plan.OpProcess:
-		return applyProcess(n, in[0], inStats[0])
+		return applyProcess(ctx, n, in[0], inStats[0])
 	case plan.OpReduce:
-		return applyReduce(n, in[0], inStats[0])
+		return applyReduce(ctx, n, in[0], inStats[0])
 	case plan.OpSpool:
 		return in[0], inStats[0].Bytes, OperatorCost(n.Kind, 0, 0, 0), nil
 	case plan.OpOutput:
@@ -425,12 +499,15 @@ func (e *Executor) applyExtract(n *plan.Node) (partitions, int64, float64, error
 	return out, bytes, OperatorCost(n.Kind, rows, 0, bytes), nil
 }
 
-func (e *Executor) applyViewScan(n *plan.Node) (partitions, int64, float64, error) {
+func (e *Executor) applyViewScan(n *plan.Node, st *execState) (partitions, int64, float64, error) {
 	// Consume (not Get): reading a view on behalf of a job verifies its
 	// checksum and consults the storage fault hook, so a corrupt or
 	// missing view surfaces here as a permanent storage error the job
-	// frontend turns into quarantine-and-replan.
-	v, parts, err := e.Store.Consume(n.ViewPath)
+	// frontend turns into quarantine-and-replan (or, when the store's
+	// circuit breaker is open, a short-circuit the frontend turns into a
+	// replan without quarantine). The job context lets a cancelled job
+	// bail out of the partition-parallel decode at chunk boundaries.
+	v, parts, err := e.Store.ConsumeCtx(st.ctx, n.ViewPath)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -456,15 +533,26 @@ func (e *Executor) applyViewScan(n *plan.Node) (partitions, int64, float64, erro
 // Expressions and operator state are read-only during evaluation, so
 // per-partition work is race-free. inRows is the caller's (already known)
 // input row count, used only for the fan-out threshold.
-func forEachPartition(in partitions, inRows int64, fn func(i int, part []data.Row) []data.Row) partitions {
+//
+// ctx is polled at partition (chunk) boundaries: once the job is
+// cancelled, remaining partitions are skipped and their output slots stay
+// nil. The partial result is never observed — the vertex-boundary
+// checkpoint in runVertex fails the job before any parent consumes it.
+func forEachPartition(ctx context.Context, in partitions, inRows int64, fn func(i int, part []data.Row) []data.Row) partitions {
 	out := make(partitions, len(in))
 	if len(in) < 2 || inRows < parallelRowThreshold {
 		for i, part := range in {
+			if ctx.Err() != nil {
+				return out
+			}
 			out[i] = fn(i, part)
 		}
 		return out
 	}
 	parallelRange(len(in), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		out[i] = fn(i, in[i])
 	})
 	return out
@@ -481,7 +569,7 @@ var selPool = sync.Pool{
 	},
 }
 
-func applyFilter(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applyFilter(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Compile once per vertex. The compiled program is immutable after
 	// Compile returns, so every partition worker shares it race-free; the
 	// child schema supplies the kind hints for the specialized comparisons.
@@ -489,7 +577,7 @@ func applyFilter(n *plan.Node, in partitions, inStats *Stats) (partitions, int64
 	// Output bytes are summed during the gather (the selection already has
 	// the kept rows in hand), replacing nodeStats' re-walk of the output.
 	bytesPer := make([]int64, len(in))
-	out := forEachPartition(in, inStats.Rows, func(i int, part []data.Row) []data.Row {
+	out := forEachPartition(ctx, in, inStats.Rows, func(i int, part []data.Row) []data.Row {
 		if len(part) == 0 {
 			return nil
 		}
@@ -523,14 +611,14 @@ func applyFilter(n *plan.Node, in partitions, inStats *Stats) (partitions, int64
 	return out, outBytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyProject(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applyProject(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Compile the projection list once per vertex (shared read-only across
 	// partition workers); EmitInto reports the exact output byte size, so
 	// nodeStats skips its re-walk of the emitted rows.
 	proj := expr.CompileProject(n.Exprs, n.Children[0].Schema())
 	width := proj.Width()
 	bytesPer := make([]int64, len(in))
-	out := forEachPartition(in, inStats.Rows, func(i int, part []data.Row) []data.Row {
+	out := forEachPartition(ctx, in, inStats.Rows, func(i int, part []data.Row) []data.Row {
 		arena := data.NewRowArenaSized(len(part) * width)
 		rows := make([]data.Row, len(part))
 		arena.NewRows(rows, width)
@@ -544,7 +632,7 @@ func applyProject(n *plan.Node, in partitions, inStats *Stats) (partitions, int6
 	return out, outBytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
-func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applyExchange(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	cost := OperatorCost(n.Kind, inStats.Rows, 0, inStats.Bytes)
 	count := n.Part.Count
 	if count < 1 {
@@ -555,7 +643,7 @@ func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int
 		return partitions{in.flatten()}, inStats.Bytes, cost, nil
 	case plan.PartHash:
 		cols := n.Part.Cols
-		out := scatterRows(in, inStats.Rows, count, func(_, _ int, r data.Row) int {
+		out := scatterRows(ctx, in, inStats.Rows, count, func(_, _ int, r data.Row) int {
 			return int(r.Hash64(cols...) % uint64(count))
 		})
 		return out, inStats.Bytes, cost, nil
@@ -569,7 +657,7 @@ func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int
 			starts[i] = idx
 			idx += len(part)
 		}
-		out := scatterRows(in, inStats.Rows, count, func(i, j int, _ data.Row) int {
+		out := scatterRows(ctx, in, inStats.Rows, count, func(i, j int, _ data.Row) int {
 			return (starts[i] + j) % count
 		})
 		return out, inStats.Bytes, cost, nil
@@ -578,7 +666,7 @@ func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int
 		// columns (full-row tie-break for determinism) and slices into
 		// equi-depth partitions. It pays sort cost on top of shuffle cost.
 		keys := fullRowTieBreak(n.Part.Cols, in)
-		rows := sortedFlatten(in, inStats.Rows, keys, nil)
+		rows := sortedFlatten(ctx, in, inStats.Rows, keys, nil)
 		if nr := float64(len(rows)); nr > 1 {
 			cost += nr * costPerRowSortBase * math.Log2(nr)
 		}
@@ -588,14 +676,14 @@ func applyExchange(n *plan.Node, in partitions, inStats *Stats) (partitions, int
 	}
 }
 
-func applySort(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applySort(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Tie-break on the full row so sort order is a total order: a Top
 	// above the sort must select the same rows whether its input was
 	// recomputed or read back from a materialized view (whose physical
 	// layout may legally differ).
 	sortKeys := fullRowTieBreak(n.SortKeys, in)
 	desc := append([]bool(nil), n.Desc...)
-	rows := sortedFlatten(in, inStats.Rows, sortKeys, desc)
+	rows := sortedFlatten(ctx, in, inStats.Rows, sortKeys, desc)
 	return partitions{rows}, inStats.Bytes, OperatorCost(n.Kind, inStats.Rows, 0, 0), nil
 }
 
@@ -630,8 +718,8 @@ func applyUnion(n *plan.Node, in []partitions, inStats []*Stats) (partitions, in
 	return out, totalBytes, OperatorCost(n.Kind, totalRows, 0, 0), nil
 }
 
-func applyProcess(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
-	out := forEachPartition(in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
+func applyProcess(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+	out := forEachPartition(ctx, in, inStats.Rows, func(_ int, part []data.Row) []data.Row {
 		arena := data.NewRowArenaSized(len(part) * (width(part) + 1))
 		rows := make([]data.Row, len(part))
 		for j, r := range part {
@@ -659,15 +747,19 @@ func udoValue(r data.Row, codeHash string) data.Value {
 	return data.Int(int64(h & 0x7fffffffffffffff))
 }
 
-func applyReduce(n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
+func applyReduce(ctx context.Context, n *plan.Node, in partitions, inStats *Stats) (partitions, int64, float64, error) {
 	// Group rows, then append a deterministic per-group value derived
 	// from the group key and the UDO code hash.
-	rows := sortedFlatten(in, inStats.Rows, n.GroupBy, nil)
+	rows := sortedFlatten(ctx, in, inStats.Rows, n.GroupBy, nil)
 	arena := data.NewRowArenaSized(len(rows) * (width(rows) + 1))
 	out := make([]data.Row, len(rows))
 	var groupVal data.Value
 	var prev data.Row
 	for i, r := range rows {
+		// Chunk-boundary cancellation poll for the serial group walk.
+		if i&4095 == 0 && ctx.Err() != nil {
+			break
+		}
 		if prev == nil || !sameKey(prev, r, n.GroupBy) {
 			key := make([]data.Value, len(n.GroupBy))
 			for k, g := range n.GroupBy {
@@ -693,7 +785,14 @@ func sameKey(a, b data.Row, keys []int) bool {
 
 func (e *Executor) applyMaterialize(n *plan.Node, in partitions, inStats *Stats, st *execState) (partitions, int64, float64, error) {
 	// Enforce the mined physical design on the view copy.
-	viewParts := enforceDesign(in, inStats.Rows, n.MatProps)
+	viewParts := enforceDesign(st.ctx, in, inStats.Rows, n.MatProps)
+	// A cancel during layout enforcement leaves viewParts partial; the
+	// checkpoint here keeps a half-built layout from ever reaching the
+	// store. (A cancel landing after this check is handled by WriteCtx,
+	// which re-checks before installing the encoded payload.)
+	if err := st.checkpoint(); err != nil {
+		return nil, 0, 0, err
+	}
 	rows := partitions(viewParts).rows()
 	cost := OperatorCost(n.Kind, 0, rows, inStats.Bytes)
 	v := &storage.View{
@@ -708,7 +807,7 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, inStats *Stats,
 	}
 	// Write encodes viewParts into the view's columnar at-rest payload
 	// (partition-parallel) and records the payload checksum.
-	created, err := e.Store.Write(v, viewParts)
+	created, err := e.Store.WriteCtx(st.ctx, v, viewParts)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("exec: materialize %s: %w", n.MatPath, err)
 	}
@@ -734,7 +833,7 @@ func (e *Executor) applyMaterialize(n *plan.Node, in partitions, inStats *Stats,
 // order. The layout kernels are the same parallel scatter / sorted-merge
 // primitives the exchange uses; the trailing per-partition sort fans out
 // across partitions (each sorts a freshly built slice, never shared input).
-func enforceDesign(in partitions, inRows int64, props plan.PhysicalProps) [][]data.Row {
+func enforceDesign(ctx context.Context, in partitions, inRows int64, props plan.PhysicalProps) [][]data.Row {
 	var parts partitions
 	switch props.Part.Kind {
 	case plan.PartRange:
@@ -746,7 +845,7 @@ func enforceDesign(in partitions, inRows int64, props plan.PhysicalProps) [][]da
 			}
 		}
 		keys := fullRowTieBreak(props.Part.Cols, in)
-		rows := sortedFlatten(in, inRows, keys, nil)
+		rows := sortedFlatten(ctx, in, inRows, keys, nil)
 		parts = sliceEquiDepth(rows, count)
 	case plan.PartHash:
 		count := props.Part.Count
@@ -757,7 +856,7 @@ func enforceDesign(in partitions, inRows int64, props plan.PhysicalProps) [][]da
 			}
 		}
 		cols := props.Part.Cols
-		parts = scatterRows(in, inRows, count, func(_, _ int, r data.Row) int {
+		parts = scatterRows(ctx, in, inRows, count, func(_, _ int, r data.Row) int {
 			return int(r.Hash64(cols...) % uint64(count))
 		})
 	case plan.PartSingleton:
@@ -770,6 +869,9 @@ func enforceDesign(in partitions, inRows int64, props plan.PhysicalProps) [][]da
 	}
 	if len(props.Sort.Cols) > 0 {
 		parallelRange(len(parts), func(i int) {
+			if ctx.Err() != nil {
+				return
+			}
 			data.SortRows(parts[i], props.Sort.Cols, props.Sort.Desc)
 		})
 	}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 )
@@ -74,11 +76,14 @@ func newJoinShard(capRows int) joinShard {
 // each shard's chain index in parallel. fastKey selects the single
 // int-like-column hash (see intKeyHash); the same flag must be used for
 // the probe side so both sides hash identically.
-func buildJoinTable(in partitions, inRows int64, keys []int, fastKey bool) *joinTable {
+func buildJoinTable(ctx context.Context, in partitions, inRows int64, keys []int, fastKey bool) *joinTable {
 	if inRows < parallelRowThreshold || len(in) == 1 {
 		// Serial single-shard build (shift 64 maps every hash to shard 0).
 		sh := newJoinShard(int(inRows))
 		for _, part := range in {
+			if ctx.Err() != nil {
+				break
+			}
 			for _, r := range part {
 				if fastKey {
 					sh.insert(intKeyHash(r[keys[0]]), r)
@@ -103,15 +108,20 @@ func buildJoinTable(in partitions, inRows int64, keys []int, fastKey bool) *join
 		part := in[i]
 		hs := make([]uint64, len(part))
 		c := make([]int32, shardCount)
-		for j, r := range part {
-			var h uint64
-			if fastKey {
-				h = intKeyHash(r[keys[0]])
-			} else {
-				h = r.Hash64(keys...)
+		// Chunk-boundary cancellation poll; skipped partitions keep their
+		// zeroed hash/count buffers, so the later passes stay in bounds
+		// (cancellation is monotone — see scatterRows).
+		if ctx.Err() == nil {
+			for j, r := range part {
+				var h uint64
+				if fastKey {
+					h = intKeyHash(r[keys[0]])
+				} else {
+					h = r.Hash64(keys...)
+				}
+				hs[j] = h
+				c[h>>shift]++
 			}
-			hs[j] = h
-			c[h>>shift]++
 		}
 		hashes[i] = hs
 		counts[i] = c
@@ -133,6 +143,9 @@ func buildJoinTable(in partitions, inRows int64, keys []int, fastKey bool) *join
 		shardHashes[s] = make([]uint64, totals[s])
 	}
 	parallelRange(len(in), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		pos := base[i]
 		hs := hashes[i]
 		for j, r := range in[i] {
@@ -146,8 +159,10 @@ func buildJoinTable(in partitions, inRows int64, keys []int, fastKey bool) *join
 	jt := &joinTable{shards: make([]joinShard, shardCount), shift: shift}
 	parallelRange(shardCount, func(s int) {
 		sh := newJoinShard(len(shardRows[s]))
-		for k, r := range shardRows[s] {
-			sh.insert(shardHashes[s][k], r)
+		if ctx.Err() == nil {
+			for k, r := range shardRows[s] {
+				sh.insert(shardHashes[s][k], r)
+			}
 		}
 		jt.shards[s] = sh
 	})
@@ -199,7 +214,7 @@ func (sh *joinShard) chainFor(h uint64) int32 {
 // Output bytes are accumulated from the build rows' cached sizes plus one
 // lazy ByteSize per matching probe row — integer sums, so the total equals
 // a fresh byte walk of the output exactly.
-func applyJoin(n *plan.Node, left, right partitions, leftStats, rightStats *Stats) (partitions, int64, float64, error) {
+func applyJoin(ctx context.Context, n *plan.Node, left, right partitions, leftStats, rightStats *Stats) (partitions, int64, float64, error) {
 	// Single int-like key columns (the common equi-join shape) hash via
 	// intKeyHash on both sides; mixed or multi-column keys keep the
 	// canonical row hash. Both schemes match exactly the pairs data.Equal
@@ -210,7 +225,7 @@ func applyJoin(n *plan.Node, left, right partitions, leftStats, rightStats *Stat
 		rk := n.Children[1].Schema()[n.RightKeys[0]].Kind
 		fastKey = lk == rk && intLikeKind(lk)
 	}
-	jt := buildJoinTable(right, rightStats.Rows, n.RightKeys, fastKey)
+	jt := buildJoinTable(ctx, right, rightStats.Rows, n.RightKeys, fastKey)
 	outWidth := len(n.Children[0].Schema()) + len(n.Children[1].Schema())
 	out := make(partitions, len(left))
 	bytesPer := make([]int64, len(left))
@@ -225,6 +240,12 @@ func applyJoin(n *plan.Node, left, right partitions, leftStats, rightStats *Stat
 	// state in registers. The unused tail of the final slab (< one chunk
 	// per partition) stays zeroed arena memory, which is harmless.
 	probe := func(i int) {
+		// Chunk-boundary cancellation poll. Skipping also protects the
+		// probe from a partially built table: the build passes bail under
+		// the same (monotone) cancelled context.
+		if ctx.Err() != nil {
+			return
+		}
 		part := left[i]
 		// Hint a whole number of slabs so chunk carving tiles the first
 		// block exactly; the arena grows only when matches exceed the

@@ -119,6 +119,13 @@ func (d *dagRun) exec(n *plan.Node) {
 	if err == nil {
 		ns = nodeStats(out, outBytes, cost, childLatency, childCumCost)
 		ns.Latency += extra
+		// Deadline enforcement mirrors the serial walk exactly: latency is
+		// monotone up the tree, so whichever vertex observes the overrun
+		// first, the job fails with the same (vertex-independent) error.
+		if d.st.pastDeadline(ns.Latency) {
+			err = d.st.deadlineErr()
+			ns = nil
+		}
 	}
 
 	d.mu.Lock()

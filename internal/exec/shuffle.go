@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"cloudviews/internal/data"
@@ -73,7 +74,14 @@ func getInt32Buf(n int) (*[]int32, []int32) {
 // handing each (input, output) pair a disjoint destination range, and a
 // parallel placement pass writing rows directly into the output slices.
 // Writers touch disjoint ranges, so the placement pass is lock-free.
-func scatterRows(in partitions, inRows int64, count int, target func(i, j int, r data.Row) int) partitions {
+//
+// Cancellation polls sit at partition boundaries. A cancelled scatter may
+// return partial output (even output slices with nil row entries from a
+// skipped placement pass) — callers never see it, because the job fails at
+// the next vertex checkpoint — but every pass keeps its own bookkeeping
+// intact: count buffers are still allocated and pooled buffers still
+// returned, so no pass dereferences state a skipped sibling never built.
+func scatterRows(ctx context.Context, in partitions, inRows int64, count int, target func(i, j int, r data.Row) int) partitions {
 	if count < 1 {
 		count = 1
 	}
@@ -84,6 +92,9 @@ func scatterRows(in partitions, inRows int64, count int, target func(i, j int, r
 		// Serial fast path: the original append loop.
 		out := make(partitions, count)
 		for i, part := range in {
+			if ctx.Err() != nil {
+				return out
+			}
 			for j, r := range part {
 				p := target(i, j, r)
 				out[p] = append(out[p], r)
@@ -98,10 +109,12 @@ func scatterRows(in partitions, inRows int64, count int, target func(i, j int, r
 		part := in[i]
 		buf, t := getInt32Buf(len(part))
 		c := make([]int32, count)
-		for j, r := range part {
-			p := target(i, j, r)
-			t[j] = int32(p)
-			c[p]++
+		if ctx.Err() == nil {
+			for j, r := range part {
+				p := target(i, j, r)
+				t[j] = int32(p)
+				c[p]++
+			}
 		}
 		targets[i] = buf
 		counts[i] = c
@@ -124,12 +137,17 @@ func scatterRows(in partitions, inRows int64, count int, target func(i, j int, r
 		out[p] = make([]data.Row, totals[p])
 	}
 	parallelRange(len(in), func(i int) {
-		pos := base[i] // exclusively owned by this index after the prefix pass
-		t := (*targets[i])[:len(in[i])]
-		for j, r := range in[i] {
-			p := t[j]
-			out[p][pos[p]] = r
-			pos[p]++
+		// Cancellation is monotone, so a skipped placement pass implies the
+		// matching count pass was (or will read as) skipped too — target
+		// buffers holding stale pool garbage are never dereferenced.
+		if ctx.Err() == nil {
+			pos := base[i] // exclusively owned by this index after the prefix pass
+			t := (*targets[i])[:len(in[i])]
+			for j, r := range in[i] {
+				p := t[j]
+				out[p][pos[p]] = r
+				pos[p]++
+			}
 		}
 		int32Pool.Put(targets[i])
 	})
@@ -142,7 +160,7 @@ func scatterRows(in partitions, inRows int64, count int, target func(i, j int, r
 // breaking to the lower partition index. Because the flatten order is
 // partition-major, "lower partition first on tie" reproduces exactly what
 // one global stable sort over the flattened slice would produce.
-func sortedFlatten(in partitions, inRows int64, keys []int, desc []bool) []data.Row {
+func sortedFlatten(ctx context.Context, in partitions, inRows int64, keys []int, desc []bool) []data.Row {
 	nonEmpty := 0
 	for _, p := range in {
 		if len(p) > 0 {
@@ -168,8 +186,16 @@ func sortedFlatten(in partitions, inRows int64, keys []int, desc []bool) []data.
 		off += len(p)
 	}
 	parallelRange(len(runs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		data.SortRows(runs[i], keys, desc)
 	})
+	// A cancelled job skips the k-way merge entirely: the runs may be
+	// unsorted, and the caller's vertex fails at its checkpoint anyway.
+	if ctx.Err() != nil {
+		return nil
+	}
 	return mergeRuns(runs, inRows, keys, desc)
 }
 

@@ -38,6 +38,11 @@ type Decision struct {
 	// existence checks mid-execution and were quarantined, forcing the job
 	// to re-optimize without them.
 	QuarantinedViews []string
+	// BreakerOpen names the dependency ("metadata", "viewstore") whose
+	// circuit breaker was open when this plan was chosen, forcing the job
+	// to skip reuse without contacting the dependency at all. Empty when
+	// no breaker interfered.
+	BreakerOpen string
 }
 
 // Optimizer is the CloudViews-extended plan search. It consults the

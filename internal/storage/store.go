@@ -28,6 +28,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -127,6 +128,20 @@ type Store struct {
 	// metadata service referencing deleted paths.
 	Deregister func(preciseSig, path string)
 
+	// Gate, if set, is consulted before every Consume touches the store —
+	// the circuit-breaker admission seam. A non-nil error short-circuits
+	// the read (nothing is looked up, verified, or decoded) and is returned
+	// as-is, so the owner controls its classification; the job frontend
+	// wires the store breaker's OpenError here and replans without the
+	// view. Gate rejections are never reported to OnConsume: the breaker
+	// already accounted for them.
+	Gate func(path string) error
+	// OnConsume, if set, observes the outcome of every real consume attempt
+	// (after Gate admission): err == nil is a healthy read, anything else a
+	// dependency failure. Attempts abandoned by context cancellation are
+	// not reported — they say nothing about the store's health.
+	OnConsume func(path string, err error)
+
 	mu        sync.RWMutex
 	byPath    map[string]*View
 	byPrecise map[string]string // precise sig -> path
@@ -184,11 +199,17 @@ func corruptPayload(blocks [][]byte) [][]byte {
 // encodeParallel encodes every partition into its columnar block, fanning
 // out across partitions, and returns the blocks plus the payload accounting
 // (encoded bytes, decoded row bytes, rows).
-func encodeParallel(parts [][]data.Row) (blocks [][]byte, encBytes, logicalBytes, rows int64, err error) {
+func encodeParallel(ctx context.Context, parts [][]data.Row) (blocks [][]byte, encBytes, logicalBytes, rows int64, err error) {
 	blocks = make([][]byte, len(parts))
 	logical := make([]int64, len(parts))
 	errs := make([]error, len(parts))
 	partitionRange(len(parts), func(i int) {
+		// Chunk-boundary cancellation poll: skipped partitions leave nil
+		// blocks; WriteCtx re-checks the context before installing anything,
+		// so a partial encode never becomes a resident view.
+		if ctx.Err() != nil {
+			return
+		}
 		blocks[i], errs[i] = colenc.Encode(parts[i])
 		var lb int64
 		for _, r := range parts[i] {
@@ -209,10 +230,16 @@ func encodeParallel(parts [][]data.Row) (blocks [][]byte, encBytes, logicalBytes
 
 // decodeParallel decodes every block back into rows, fanning out across
 // partitions.
-func decodeParallel(blocks [][]byte) ([][]data.Row, error) {
+func decodeParallel(ctx context.Context, blocks [][]byte) ([][]data.Row, error) {
 	parts := make([][]data.Row, len(blocks))
 	errs := make([]error, len(blocks))
 	partitionRange(len(blocks), func(i int) {
+		// Chunk-boundary cancellation poll: skipped partitions stay nil;
+		// ConsumeCtx re-checks the context before serving or caching, so a
+		// partial decode is never observed.
+		if ctx.Err() != nil {
+			return
+		}
 		parts[i], errs[i] = colenc.Decode(blocks[i])
 	})
 	for _, err := range errs {
@@ -275,6 +302,14 @@ func partitionRange(n int, fn func(i int)) {
 // corruption stores a bit-damaged payload under the clean checksum,
 // modeling silent data loss that only consume-time verification can catch.
 func (s *Store) Write(v *View, parts [][]data.Row) (created bool, err error) {
+	return s.WriteCtx(context.Background(), v, parts)
+}
+
+// WriteCtx is Write under a job lifecycle: the partition-parallel encode
+// polls ctx at chunk boundaries, and the context is re-checked before the
+// install lock — a cancelled job's write fails with the context's error
+// and never installs a (possibly partial) payload.
+func (s *Store) WriteCtx(ctx context.Context, v *View, parts [][]data.Row) (created bool, err error) {
 	// Cheap pre-check so a write that lost the build race does not pay for
 	// an encode it will discard. Results are revalidated under the lock.
 	s.mu.RLock()
@@ -293,9 +328,15 @@ func (s *Store) Write(v *View, parts [][]data.Row) (created bool, err error) {
 
 	// Encode outside the lock: the payload walk is the expensive part, and
 	// concurrent writers of distinct views must not serialize on it.
-	blocks, encBytes, logicalBytes, rows, err := encodeParallel(parts)
+	blocks, encBytes, logicalBytes, rows, err := encodeParallel(ctx, parts)
 	if err != nil {
 		return false, fmt.Errorf("storage: encode %q: %w", v.Path, err)
+	}
+	// A cancel during the encode leaves nil blocks behind; fail the write
+	// here, before anything is installed. (A cancel arriving after this
+	// check means the encode ran to completion — installing is safe.)
+	if cerr := ctx.Err(); cerr != nil {
+		return false, fmt.Errorf("storage: write %q: %w", v.Path, cerr)
 	}
 	checksum := checksumEncoded(blocks)
 
@@ -358,6 +399,30 @@ func (s *Store) Get(path string) (*View, error) {
 // serves them zero-copy): callers must treat rows as immutable, the same
 // read-only aliasing contract every view scan already obeys.
 func (s *Store) Consume(path string) (*View, [][]data.Row, error) {
+	return s.ConsumeCtx(context.Background(), path)
+}
+
+// ConsumeCtx is Consume under a job lifecycle. The Gate (circuit breaker)
+// is consulted first — a rejection returns without touching the store and
+// without an OnConsume report. Admitted reads poll ctx at the partition
+// boundaries of the parallel decode and re-check it before classifying
+// failures or caching: an attempt abandoned by cancellation returns the
+// context's error (never a spurious CorruptError from an interrupted
+// decode) and is not reported to OnConsume.
+func (s *Store) ConsumeCtx(ctx context.Context, path string) (*View, [][]data.Row, error) {
+	if s.Gate != nil {
+		if err := s.Gate(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	v, parts, err := s.consume(ctx, path)
+	if s.OnConsume != nil && ctx.Err() == nil {
+		s.OnConsume(path, err)
+	}
+	return v, parts, err
+}
+
+func (s *Store) consume(ctx context.Context, path string) (*View, [][]data.Row, error) {
 	if s.Faults != nil {
 		if err := s.Faults.ReadView(path); err != nil {
 			return nil, nil, fmt.Errorf("storage: read %q: %w", path, err)
@@ -374,15 +439,26 @@ func (s *Store) Consume(path string) (*View, [][]data.Row, error) {
 	}
 	// Verify and decode outside the lock: the payload is immutable.
 	// Concurrent first consumers may both decode; both admit the same
-	// answer and the cache keeps one.
+	// answer and the cache keeps one. The checksum fold itself is never
+	// interrupted mid-walk — a partial hash would misreport a healthy view
+	// as corrupt — so the cancellation check sits between the stages.
 	if checksumEncoded(v.Encoded) != v.Checksum {
 		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
 	}
-	parts, err := decodeParallel(v.Encoded)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, fmt.Errorf("storage: read %q: %w", path, cerr)
+	}
+	parts, err := decodeParallel(ctx, v.Encoded)
 	if err != nil {
 		// The checksum matched but the payload does not parse: damage that
 		// slipped under the hash, still quarantinable corruption.
 		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
+	}
+	// A cancel during the decode leaves nil partitions; return the
+	// context's error rather than serving — or worse, caching — a partial
+	// decode.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, fmt.Errorf("storage: read %q: %w", path, cerr)
 	}
 	parts = s.cache.admit(path, parts, v.LogicalBytes)
 	return v, parts, nil

@@ -105,6 +105,14 @@ while [ "$pass" -le "$PASSES" ]; do
 		go test -run='^$' -bench="^Benchmark${fam}\$" \
 			-benchmem -benchtime="$BENCHTIME" ./internal/exec/ | tee -a "$EXEC_TMP"
 	done
+	# Lifecycle overhead probe: the cost of rejecting a pre-cancelled
+	# submission. Every cooperative cancellation checkpoint on the happy
+	# path is the same single ctx.Err() poll this path exercises, so a
+	# regression here flags checkpoint cost creeping into the kernels
+	# above (which now all carry vertex/chunk-boundary polls). No seed
+	# entry: the benchmark landed with the lifecycle work itself.
+	go test -run='^$' -bench='^BenchmarkSubmitCancelled$' \
+		-benchmem -benchtime="$BENCHTIME" ./internal/core/ | tee -a "$EXEC_TMP"
 	pass=$((pass + 1))
 done
 

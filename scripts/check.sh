@@ -40,14 +40,27 @@ go test -run='^$' -fuzz='^FuzzCompiledEval$' -fuzztime=10s ./internal/expr/
 # the concurrent Append-while-Analyze soak over the zero-copy snapshot.
 go test -race -run='TestAnalyzerGolden|TestAnalyzerConcurrent|TestOverlapStatsGolden' \
 	-count=1 ./internal/analyzer/
+# Job lifecycle under the race detector, by name: cancellation checkpoints
+# (pre-cancelled, mid-run, retry-loop) and deadline determinism in the
+# executor, plus the service-level paths — deadline shedding, mid-job
+# retraction, circuit breakers, drain, and the bounded in-flight gate.
+go test -race -run='TestRunCtx|TestShedUnmeetableDeadline|TestDeadlineExceededFailsJob|TestCancelMidJobRetractsEverything|TestMetadataBreakerLifecycle|TestStoreBreakerDegradesToBaseline|TestDrain|TestMaxInFlight|TestSubmitBatchAggregatesFailures|TestBatchConcurrencyResolution' \
+	-count=1 ./internal/core/ ./internal/exec/
+# Circuit-breaker state machine unit tests under the race detector.
+go test -race -count=1 ./internal/breaker/
 # Chaos soak under the race detector, bounded rounds: concurrent jobs
 # through a seeded fault schedule (vertex crashes, storage faults, view
-# corruption, metadata blackouts) with per-job output validation. The
-# CHAOS_ROUNDS knob scales it; `make chaos` runs the long version.
+# corruption, metadata blackouts) with per-job output validation, plus a
+# per-round lifecycle wave (randomized cancellations, tight deadlines)
+# whose goroutine-leak gate doubles as the leak check for the lifecycle
+# machinery. The CHAOS_ROUNDS knob scales it; `make chaos` runs the long
+# version.
 CHAOS_ROUNDS="${CHAOS_ROUNDS:-2}" go test -race -run='TestChaosSoak' -count=1 ./internal/core/
 # Exec kernel benchmark smoke: one iteration of every data-plane benchmark
 # exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
 go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
+# Lifecycle overhead probe smoke (full runs feed BENCH_exec.json).
+go test -run='^$' -bench='^BenchmarkSubmitCancelled$' -benchtime=1x ./internal/core/
 # Expression-compiler benchmark smoke: compile cost plus the per-row
 # interp-vs-compiled pairs (full numbers live in EXPERIMENTS.md).
 go test -run='^$' -bench='^BenchmarkExpr' -benchtime=1x ./internal/expr/
