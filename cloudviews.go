@@ -20,6 +20,8 @@
 package cloudviews
 
 import (
+	"context"
+
 	"cloudviews/internal/analyzer"
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/core"
@@ -27,6 +29,7 @@ import (
 	"cloudviews/internal/expr"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/metadata"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/script"
 	"cloudviews/internal/signature"
@@ -147,6 +150,45 @@ type (
 // NewService wires a complete in-process job service around a catalog.
 var NewService = core.NewService
 
+// BatchOptions configures Service.RunBatch, the canonical ctx-first batch
+// submission entry point (Service.Run is its single-job sibling). The
+// Submit/SubmitCtx/SubmitBatch/SubmitBatchCtx quartet remains as thin
+// deprecated wrappers.
+type BatchOptions = core.BatchOptions
+
+// ---- Observability ---------------------------------------------------------
+
+// ServiceStats is the unified, versioned stats surface returned by
+// Service.Snapshot — recovery, storage, scheduler, breaker, and metric
+// counters in one consistent value. SchedulerStats and BreakerStats are
+// its nested slices; ServiceObserver is the observability layer itself
+// (Service.SetObserver swaps or removes it).
+type (
+	ServiceStats    = core.ServiceStats
+	SchedulerStats  = core.SchedulerStats
+	BreakerStats    = core.BreakerStats
+	ServiceObserver = core.Observer
+)
+
+// StatsSchemaVersion identifies the ServiceStats layout.
+const StatsSchemaVersion = core.StatsSchemaVersion
+
+// NewObserver builds an observability layer for Service.SetObserver:
+// capacity 0 keeps the default trace ring, negative disables tracing.
+var NewObserver = core.NewObserver
+
+// Span is one node of a job trace (a logical-clock interval with
+// attributes and children); Trace is a job's span tree, exported as
+// stable order-normalized JSON by Trace.JSON; Metrics is the counter /
+// gauge / histogram snapshot inside ServiceStats. Traces are retrieved
+// with Service.Trace(jobID) and are byte-deterministic for a fixed seed
+// across serial and parallel execution.
+type (
+	Span    = obs.Span
+	Trace   = obs.Trace
+	Metrics = obs.MetricsSnapshot
+)
+
 // JobError is the typed failure the lifecycle layer returns — the job
 // that failed, a JobErrorReason (cancelled / deadline / shed /
 // dependency), and the underlying cause reachable via errors.Is/As.
@@ -259,19 +301,19 @@ type (
 var GenerateTPCDS = tpcds.Generate
 
 // SubmitJob is a convenience wrapper: it builds a JobSpec from a plan and
-// metadata and submits it.
+// metadata and runs it.
 func SubmitJob(s *Service, meta JobMeta, root *Plan) (*JobResult, error) {
-	return s.Submit(JobSpec{Meta: meta, Root: root})
+	return s.Run(context.Background(), JobSpec{Meta: meta, Root: root})
 }
 
-// SubmitBatch submits a batch of jobs with up to concurrency in flight
+// SubmitBatch runs a batch of jobs with up to concurrency in flight
 // (≤ 1 means one per CPU), returning results in submission order. Jobs in
 // a batch coordinate view builds through the metadata service exactly as
 // concurrently arriving production jobs do (§6.5). When jobs fail, the
 // returned error joins every per-job failure (errors.Join) and the result
 // slice keeps the successful jobs at their submission indexes.
 func SubmitBatch(s *Service, specs []JobSpec, concurrency int) ([]*JobResult, error) {
-	return s.SubmitBatch(specs, concurrency)
+	return s.RunBatch(context.Background(), specs, BatchOptions{Concurrency: concurrency})
 }
 
 // ---- Scripts -----------------------------------------------------------------

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,17 @@ func main() {
 	w := cv.GenerateWorkload(profile)
 	svc := cv.NewService(w.Catalog, cv.Config{Enabled: false})
 	for _, j := range w.JobsForInstance(0) {
-		if _, err := svc.Submit(cv.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+		if _, err := svc.Run(context.Background(), cv.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	// One Snapshot covers what used to take several accessors: job
+	// ledger, storage gauges, breakers, and the analyzer-facing counters.
+	snap := svc.Snapshot()
+	fmt.Printf("service snapshot (schema v%d): %d jobs completed, %d views resident (%d encoded bytes)\n",
+		snap.SchemaVersion, snap.Metrics.Counters["jobs.completed"],
+		snap.Storage.Views, snap.Storage.ResidentEncodedBytes)
 
 	// The overlap profile (what the Power BI dashboard summarizes).
 	stats := cv.ComputeOverlapStats(svc.Repo.Observations())

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	svc := cv.NewService(cat, cv.Config{Enabled: true, ValidateResults: true})
 
 	submit := func(id string, root *cv.Plan) *cv.JobResult {
-		r, err := svc.Submit(cv.JobSpec{
+		r, err := svc.Run(context.Background(), cv.JobSpec{
 			Meta: cv.JobMeta{JobID: id, VC: "demo", User: "quickstart", TemplateID: id, Period: 1},
 			Root: root,
 		})

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -100,7 +101,7 @@ func main() {
 		svc.BeginInstance(d) // purge views that expired before today
 		fmt.Printf("--- day %d (views in store: %d) ---\n", d, svc.Store.Len())
 		for _, tpl := range templates {
-			r, err := svc.Submit(cv.JobSpec{
+			r, err := svc.Run(context.Background(), cv.JobSpec{
 				Meta: cv.JobMeta{
 					JobID: fmt.Sprintf("%s-day%d", tpl.id, d), VC: "telemetry_vc",
 					User: tpl.user, TemplateID: tpl.id, Instance: d, Period: 1,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,7 +82,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := svc.Submit(cv.JobSpec{
+		r, err := svc.Run(context.Background(), cv.JobSpec{
 			Meta: cv.JobMeta{
 				JobID: fmt.Sprintf("%s-day%d", tpl, d), VC: "scripts_vc",
 				User: tpl, TemplateID: tpl, Instance: d, Period: 1,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	baseline := map[int]float64{}
 	for _, id := range queryIDs {
 		q := builder.Query(id)
-		r, err := baseSvc.Submit(cv.JobSpec{Meta: meta(q, ""), Root: q.Root})
+		r, err := baseSvc.Run(context.Background(), cv.JobSpec{Meta: meta(q, ""), Root: q.Root})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func main() {
 	var sumB, sumC float64
 	for _, id := range queryIDs {
 		q := builder.Query(id)
-		r, err := cvSvc.Submit(cv.JobSpec{Meta: meta(q, "-cv"), Root: q.Root})
+		r, err := cvSvc.Run(context.Background(), cv.JobSpec{Meta: meta(q, "-cv"), Root: q.Root})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -133,9 +133,19 @@ type Analysis struct {
 	JobOrder []string
 }
 
+// ObsHook is the analyzer's observability seam (see internal/obs):
+// AnalyzeDone fires once per completed Analyze with the run's sizes. A
+// nil hook costs nothing.
+type ObsHook interface {
+	AnalyzeDone(jobs, subgraphs, candidates, selected int)
+}
+
 // Analyzer mines a workload repository.
 type Analyzer struct {
 	Repo *workload.Repository
+
+	// Obs, if set, observes completed runs (see ObsHook).
+	Obs ObsHook
 }
 
 // New returns an analyzer over the repository.
@@ -180,6 +190,9 @@ func (a *Analyzer) Analyze(cfg Config) *Analysis {
 			}
 		}
 	})
+	if a.Obs != nil {
+		a.Obs.AnalyzeDone(an.TotalJobs, an.TotalSubgraphs, len(an.Candidates), len(an.Selected))
+	}
 	return an
 }
 

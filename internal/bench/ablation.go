@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -59,7 +60,7 @@ func runSelectionVariant(seed int64, useEstimates bool) (float64, error) {
 	w := workgen.Generate(cfg.Profile)
 	hist := core.NewService(w.Catalog, core.Config{Enabled: false})
 	for _, j := range w.JobsForInstance(0) {
-		if _, err := hist.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+		if _, err := hist.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 			return 0, err
 		}
 	}
@@ -86,7 +87,7 @@ func runSelectionVariant(seed int64, useEstimates bool) (float64, error) {
 	base := core.NewService(w.Catalog, core.Config{Enabled: false})
 	var baseCPU float64
 	for _, j := range jobs {
-		r, err := base.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+		r, err := base.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 		if err != nil {
 			return 0, err
 		}
@@ -96,7 +97,7 @@ func runSelectionVariant(seed int64, useEstimates bool) (float64, error) {
 	cv.Meta.LoadAnalysis(an.Annotations)
 	var cvCPU float64
 	for _, j := range jobs {
-		r, err := cv.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+		r, err := cv.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 		if err != nil {
 			return 0, err
 		}
@@ -124,7 +125,7 @@ func RunPhysicalDesignAblation(seed int64) (*DesignAblationResult, error) {
 	w := workgen.Generate(cfg.Profile)
 	hist := core.NewService(w.Catalog, core.Config{Enabled: false})
 	for _, j := range w.JobsForInstance(0) {
-		if _, err := hist.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+		if _, err := hist.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 			return nil, err
 		}
 	}
@@ -157,10 +158,10 @@ func RunPhysicalDesignAblation(seed int64) (*DesignAblationResult, error) {
 	run := func(anns []metadata.Annotation) (float64, error) {
 		svc := core.NewService(w.Catalog, core.Config{Enabled: true, MaxViewsPerJob: 1})
 		svc.Meta.LoadAnalysis(anns)
-		if _, err := svc.Submit(core.JobSpec{Meta: builder.Meta, Root: builder.Root}); err != nil {
+		if _, err := svc.Run(context.Background(), core.JobSpec{Meta: builder.Meta, Root: builder.Root}); err != nil {
 			return 0, err
 		}
-		r, err := svc.Submit(core.JobSpec{Meta: consumer.Meta, Root: consumer.Root})
+		r, err := svc.Run(context.Background(), core.JobSpec{Meta: consumer.Meta, Root: consumer.Root})
 		if err != nil {
 			return 0, err
 		}
@@ -203,7 +204,7 @@ func RunCoordinationAblation(seed int64) (*CoordinationAblationResult, error) {
 	w := workgen.Generate(cfg.Profile)
 	hist := core.NewService(w.Catalog, core.Config{Enabled: false})
 	for _, j := range w.JobsForInstance(0) {
-		if _, err := hist.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+		if _, err := hist.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 			return nil, err
 		}
 	}
@@ -220,7 +221,7 @@ func RunCoordinationAblation(seed int64) (*CoordinationAblationResult, error) {
 	base := core.NewService(w.Catalog, core.Config{Enabled: false})
 	var baseCPU float64
 	for _, j := range jobs {
-		r, err := base.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+		r, err := base.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +250,7 @@ func RunCoordinationAblation(seed int64) (*CoordinationAblationResult, error) {
 			return cpu, nil
 		}
 		for _, j := range order {
-			r, err := svc.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+			r, err := svc.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 			if err != nil {
 				return 0, err
 			}
@@ -340,7 +341,7 @@ func RunEarlyMatAblation(seed int64) (*EarlyMatAblationResult, error) {
 		w := workgen.Generate(cfg.Profile)
 		hist := core.NewService(w.Catalog, core.Config{Enabled: false})
 		for _, j := range w.JobsForInstance(0) {
-			if _, err := hist.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+			if _, err := hist.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 				return 0, err
 			}
 		}
@@ -374,11 +375,11 @@ func RunEarlyMatAblation(seed int64) (*EarlyMatAblationResult, error) {
 		// The crash is permanent (not Transient), so the vertex-retry loop
 		// fails the job on the first attempt.
 		svc.Exec.Faults = crashAtKind{plan.OpMaterialize}
-		if _, err := svc.Submit(core.JobSpec{Meta: builder.Meta, Root: builder.Root}); err == nil {
+		if _, err := svc.Run(context.Background(), core.JobSpec{Meta: builder.Meta, Root: builder.Root}); err == nil {
 			return 0, errors.New("bench: expected injected failure")
 		}
 		svc.Exec.Faults = nil
-		r, err := svc.Submit(core.JobSpec{Meta: next.Meta, Root: next.Root})
+		r, err := svc.Run(context.Background(), core.JobSpec{Meta: next.Meta, Root: next.Root})
 		if err != nil {
 			return 0, err
 		}
@@ -410,7 +411,7 @@ func RunViewLimitAblation(seed int64) (*ViewLimitAblationResult, error) {
 	w := workgen.Generate(cfg.Profile)
 	hist := core.NewService(w.Catalog, core.Config{Enabled: false})
 	for _, j := range w.JobsForInstance(0) {
-		if _, err := hist.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
+		if _, err := hist.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root}); err != nil {
 			return nil, err
 		}
 	}
@@ -425,7 +426,7 @@ func RunViewLimitAblation(seed int64) (*ViewLimitAblationResult, error) {
 	base := core.NewService(w.Catalog, core.Config{Enabled: false})
 	var baseCPU float64
 	for _, j := range jobs {
-		r, err := base.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+		r, err := base.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 		if err != nil {
 			return nil, err
 		}
@@ -437,7 +438,7 @@ func RunViewLimitAblation(seed int64) (*ViewLimitAblationResult, error) {
 		svc.Meta.LoadAnalysis(an.Annotations)
 		var cpu float64
 		for _, j := range jobs {
-			r, err := svc.Submit(core.JobSpec{Meta: j.Meta, Root: j.Root})
+			r, err := svc.Run(context.Background(), core.JobSpec{Meta: j.Meta, Root: j.Root})
 			if err != nil {
 				return nil, err
 			}

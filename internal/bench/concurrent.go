@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,7 +15,7 @@ import (
 
 // ConcurrentResult reports the concurrent-submission experiment: the same
 // reuse-heavy workload pushed through the pipeline serially and as one
-// SubmitBatch, with wall-clock (real, not simulated) timings. Unlike the
+// RunBatch, with wall-clock (real, not simulated) timings. Unlike the
 // paper figures this measures the harness itself — the parallel DAG
 // scheduler plus the batched job pipeline — so the speedup is bounded by
 // GOMAXPROCS, and the mismatch counters prove concurrency changed nothing
@@ -43,7 +44,7 @@ type ConcurrentResult struct {
 // each builds every selected view via one serial pass — so both measured
 // passes are pure-reuse and reuse identical view stores. Measured: the
 // instance-1 jobs resubmitted serially on one service, then as a single
-// SubmitBatch on the other.
+// RunBatch on the other.
 func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
 	p := workgen.DefaultProfile("conc", 11)
 	p.Templates = 48
@@ -57,7 +58,7 @@ func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
 	for i, j := range histJobs {
 		histSpecs[i] = core.JobSpec{Meta: j.Meta, Root: j.Root}
 	}
-	if _, err := hist.SubmitBatch(histSpecs, concurrency); err != nil {
+	if _, err := hist.RunBatch(context.Background(), histSpecs, core.BatchOptions{Concurrency: concurrency}); err != nil {
 		return nil, err
 	}
 	an := analyzer.New(hist.Repo).Analyze(analyzer.Config{
@@ -81,7 +82,7 @@ func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
 		s := core.NewService(w.Catalog, core.Config{Enabled: true, MaxViewsPerJob: 1})
 		s.Meta.LoadAnalysis(an.Annotations)
 		for _, spec := range specs {
-			if _, err := s.Submit(spec); err != nil {
+			if _, err := s.Run(context.Background(), spec); err != nil {
 				return nil, err
 			}
 		}
@@ -99,7 +100,7 @@ func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
 	start := time.Now()
 	serial := make([]*core.JobResult, len(specs))
 	for i, spec := range specs {
-		r, err := sSerial.Submit(spec)
+		r, err := sSerial.Run(context.Background(), spec)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +109,7 @@ func RunConcurrentSubmit(concurrency int) (*ConcurrentResult, error) {
 	serialWall := time.Since(start)
 
 	start = time.Now()
-	batch, err := sBatch.SubmitBatch(specs, concurrency)
+	batch, err := sBatch.RunBatch(context.Background(), specs, core.BatchOptions{Concurrency: concurrency})
 	if err != nil {
 		return nil, err
 	}

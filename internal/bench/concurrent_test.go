@@ -14,10 +14,10 @@ func TestConcurrentSubmitShapes(t *testing.T) {
 		t.Fatalf("only %d jobs in the concurrent workload; too small to mean anything", r.Jobs)
 	}
 	if r.OutputMismatches != 0 {
-		t.Errorf("%d jobs produced different rows under SubmitBatch", r.OutputMismatches)
+		t.Errorf("%d jobs produced different rows under RunBatch", r.OutputMismatches)
 	}
 	if r.DecisionMismatches != 0 {
-		t.Errorf("%d jobs made different reuse decisions under SubmitBatch", r.DecisionMismatches)
+		t.Errorf("%d jobs made different reuse decisions under RunBatch", r.DecisionMismatches)
 	}
 	if r.SerialWall <= 0 || r.BatchWall <= 0 || r.JobsPerSec <= 0 {
 		t.Errorf("degenerate timings: serial=%v batch=%v jobs/s=%v", r.SerialWall, r.BatchWall, r.JobsPerSec)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -169,7 +170,7 @@ func optimizerOverheads(w *workgen.Workload, an *analyzer.Analysis) (plain, crea
 	// measurement is pure consumption, not consume-plus-build.
 	svcUse := core.NewService(w.Catalog, core.Config{Enabled: true})
 	svcUse.Meta.LoadAnalysis(an.Annotations)
-	r, err := svcUse.Submit(core.JobSpec{Meta: target.Meta, Root: target.Root})
+	r, err := svcUse.Run(context.Background(), core.JobSpec{Meta: target.Meta, Root: target.Root})
 	if err != nil {
 		return 0, 0, 0, err
 	}

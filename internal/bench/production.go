@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -102,7 +103,7 @@ func RunProduction(cfg ProdConfig) (*ProdResult, error) {
 	for i, j := range histJobs {
 		histSpecs[i] = core.JobSpec{Meta: j.Meta, Root: j.Root}
 	}
-	if _, err := hist.SubmitBatch(histSpecs, 0); err != nil {
+	if _, err := hist.RunBatch(context.Background(), histSpecs, core.BatchOptions{}); err != nil {
 		return nil, err
 	}
 	an := analyzer.New(hist.Repo).Analyze(analyzer.Config{
@@ -171,7 +172,7 @@ func RunProduction(cfg ProdConfig) (*ProdResult, error) {
 	for i, p := range picks {
 		baseSpecs[i] = core.JobSpec{Meta: p.job.Meta, Root: p.job.Root}
 	}
-	baseBatch, err := baseline.SubmitBatch(baseSpecs, 0)
+	baseBatch, err := baseline.RunBatch(context.Background(), baseSpecs, core.BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +193,7 @@ func RunProduction(cfg ProdConfig) (*ProdResult, error) {
 		for hi < len(picks) && picks[hi].group == picks[lo].group {
 			hi++
 		}
-		head, err := cv.Submit(core.JobSpec{Meta: picks[lo].job.Meta, Root: picks[lo].job.Root})
+		head, err := cv.Run(context.Background(), core.JobSpec{Meta: picks[lo].job.Meta, Root: picks[lo].job.Root})
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +203,7 @@ func RunProduction(cfg ProdConfig) (*ProdResult, error) {
 			for _, p := range picks[lo+1 : hi] {
 				rest = append(rest, core.JobSpec{Meta: p.job.Meta, Root: p.job.Root})
 			}
-			batch, err := cv.SubmitBatch(rest, 0)
+			batch, err := cv.RunBatch(context.Background(), rest, core.BatchOptions{})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -80,7 +81,7 @@ func RunTPCDS(cfg TPCDSConfig) (*TPCDSResult, error) {
 	for i, q := range queries {
 		baseSpecs[i] = core.JobSpec{Meta: meta(q), Root: q.Root}
 	}
-	baseBatch, err := base.SubmitBatch(baseSpecs, 0)
+	baseBatch, err := base.RunBatch(context.Background(), baseSpecs, core.BatchOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("bench: baseline pass: %w", err)
 	}
@@ -126,7 +127,7 @@ func RunTPCDS(cfg TPCDSConfig) (*TPCDSResult, error) {
 		}
 	}
 	for _, q := range order[:builders] {
-		r, err := cv.Submit(core.JobSpec{Meta: meta(q), Root: q.Root})
+		r, err := cv.Run(context.Background(), core.JobSpec{Meta: meta(q), Root: q.Root})
 		if err != nil {
 			return nil, fmt.Errorf("bench: cloudviews %s: %w", q.Name, err)
 		}
@@ -137,7 +138,7 @@ func RunTPCDS(cfg TPCDSConfig) (*TPCDSResult, error) {
 	for i, q := range rest {
 		restSpecs[i] = core.JobSpec{Meta: meta(q), Root: q.Root}
 	}
-	restBatch, err := cv.SubmitBatch(restSpecs, 0)
+	restBatch, err := cv.RunBatch(context.Background(), restSpecs, core.BatchOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("bench: cloudviews batch: %w", err)
 	}

@@ -67,13 +67,23 @@ type Breaker struct {
 	threshold int
 	cooldown  int64
 
+	// OnStateChange, if set, is invoked after every state transition
+	// (outside the breaker's lock, so it may take its own locks but the
+	// reported transition can be momentarily stale under contention). The
+	// observability layer wires metric bumps here. Set before first use;
+	// it is read without synchronization.
+	OnStateChange func(name string, from, to State, now int64)
+
 	mu          sync.Mutex
 	state       State
 	consecutive int
 	openedAt    int64
 
-	opens  atomic.Int64
-	shorts atomic.Int64
+	opens          atomic.Int64
+	shorts         atomic.Int64
+	probes         atomic.Int64
+	probeSuccesses atomic.Int64
+	probeFailures  atomic.Int64
 }
 
 // New returns a Closed breaker named for its dependency. threshold is the
@@ -100,17 +110,21 @@ func (b *Breaker) Name() string { return b.name }
 // an OpenError (or degrade) without touching the dependency.
 func (b *Breaker) Allow(now int64) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
+		b.mu.Unlock()
 		return true
 	case Open:
 		if now >= b.openedAt+b.cooldown {
 			b.state = HalfOpen
+			b.probes.Add(1)
+			b.mu.Unlock()
+			b.notify(Open, HalfOpen, now)
 			return true // the probe
 		}
 	}
 	b.shorts.Add(1)
+	b.mu.Unlock()
 	return false
 }
 
@@ -126,30 +140,43 @@ func (b *Breaker) Ready(now int64) bool {
 // Observe reports the outcome of a request Allow admitted. In Closed
 // state, a failure extends the consecutive-failure run (tripping Open at
 // the threshold) and a success resets it. In HalfOpen state the outcome is
-// the probe's verdict: success closes the breaker, failure re-opens it for
-// a fresh cooldown. Outcomes arriving while Open — stragglers admitted
+// the probe's verdict: success closes the breaker (counted in
+// ProbeSuccesses), failure re-opens it for a fresh cooldown (counted in
+// ProbeFailures). Outcomes arriving while Open — stragglers admitted
 // before the trip — are ignored.
 func (b *Breaker) Observe(now int64, ok bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case Closed:
 		if ok {
 			b.consecutive = 0
+			b.mu.Unlock()
 			return
 		}
 		b.consecutive++
 		if b.consecutive >= b.threshold {
 			b.trip(now)
+			b.mu.Unlock()
+			b.notify(from, Open, now)
+			return
 		}
 	case HalfOpen:
 		if ok {
 			b.state = Closed
 			b.consecutive = 0
+			b.probeSuccesses.Add(1)
+			b.mu.Unlock()
+			b.notify(from, Closed, now)
 			return
 		}
+		b.probeFailures.Add(1)
 		b.trip(now)
+		b.mu.Unlock()
+		b.notify(from, Open, now)
+		return
 	}
+	b.mu.Unlock()
 }
 
 // trip moves the breaker to Open at time now. Callers hold b.mu.
@@ -158,6 +185,14 @@ func (b *Breaker) trip(now int64) {
 	b.openedAt = now
 	b.consecutive = 0
 	b.opens.Add(1)
+}
+
+// notify reports a state transition to OnStateChange, if set. Called
+// after the breaker's lock is released.
+func (b *Breaker) notify(from, to State, now int64) {
+	if b.OnStateChange != nil {
+		b.OnStateChange(b.name, from, to, now)
+	}
 }
 
 // State returns the current position without transitioning it (an Open
@@ -173,3 +208,10 @@ func (b *Breaker) Opens() int64 { return b.opens.Load() }
 
 // ShortCircuits counts requests rejected without touching the dependency.
 func (b *Breaker) ShortCircuits() int64 { return b.shorts.Load() }
+
+// Probes counts half-open probes admitted after a cooldown;
+// ProbeSuccesses and ProbeFailures count their observed outcomes (a probe
+// whose caller never reports to Observe is admitted but has no outcome).
+func (b *Breaker) Probes() int64         { return b.probes.Load() }
+func (b *Breaker) ProbeSuccesses() int64 { return b.probeSuccesses.Load() }
+func (b *Breaker) ProbeFailures() int64  { return b.probeFailures.Load() }

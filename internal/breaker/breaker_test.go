@@ -174,3 +174,45 @@ func TestBreakerConcurrent(t *testing.T) {
 		t.Fatal("Opens = 0, want > 0")
 	}
 }
+
+// TestBreakerProbeCounters pins the half-open probe accounting: every
+// probe admitted after a cooldown is counted, and its observed outcome
+// lands in exactly one of ProbeSuccesses/ProbeFailures. Earlier versions
+// counted opens only, so dashboards could not tell "still failing at
+// every probe" from "never probed at all".
+func TestBreakerProbeCounters(t *testing.T) {
+	b := New("dep", 1, 10)
+	var transitions []string
+	b.OnStateChange = func(name string, from, to State, now int64) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	}
+
+	b.Observe(0, false) // trip at t=0
+	if !b.Allow(10) {   // probe 1
+		t.Fatal("probe 1 rejected")
+	}
+	b.Observe(10, false) // probe 1 fails, re-open
+	if !b.Allow(20) {    // probe 2
+		t.Fatal("probe 2 rejected")
+	}
+	b.Observe(20, true) // probe 2 succeeds, close
+
+	if got := b.Probes(); got != 2 {
+		t.Fatalf("Probes = %d, want 2", got)
+	}
+	if got := b.ProbeFailures(); got != 1 {
+		t.Fatalf("ProbeFailures = %d, want 1", got)
+	}
+	if got := b.ProbeSuccesses(); got != 1 {
+		t.Fatalf("ProbeSuccesses = %d, want 1", got)
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}

@@ -103,10 +103,22 @@ type FaultHook interface {
 	AdmitDelay(vc string, at int64) int64
 }
 
+// ObsHook is the cluster scheduler's observability seam (see
+// internal/obs): Admitted fires once per successful admission with the
+// reserved start time and the VC's live-ledger depth after the insert (a
+// queue-depth proxy). It is invoked under the scheduler's lock — hooks
+// must not call back into the scheduler. A nil hook costs nothing.
+type ObsHook interface {
+	Admitted(vc string, tokens int, at, start int64, depth int)
+}
+
 // Scheduler admits jobs to VCs under token capacity over simulated time.
 type Scheduler struct {
 	// Faults, if set, can delay admissions. Production runs leave it nil.
 	Faults FaultHook
+
+	// Obs, if set, observes admissions (see ObsHook).
+	Obs ObsHook
 
 	mu  sync.Mutex
 	vcs map[string]*VC
@@ -166,6 +178,9 @@ func (s *Scheduler) Admit(vcName string, tokens int, at, duration int64) (start 
 	vc.retire(at)
 	start = vc.earliestFit(tokens, at, duration)
 	vc.insert(interval{start: start, end: start + duration, tokens: tokens})
+	if s.Obs != nil {
+		s.Obs.Admitted(vcName, tokens, at, start, len(vc.resv))
+	}
 	return start, nil
 }
 

@@ -213,13 +213,13 @@ func (s *Service) lifecycleError(jobID string, err error) error {
 	}
 	switch {
 	case errors.Is(err, ErrDraining):
-		s.recovery.shed.Add(1)
+		s.recovery.bump(func() { s.recovery.shed.Add(1) })
 		return &JobError{JobID: jobID, Reason: ReasonShed, Err: err}
 	case errors.Is(err, context.DeadlineExceeded):
-		s.recovery.deadline.Add(1)
+		s.recovery.bump(func() { s.recovery.deadline.Add(1) })
 		return &JobError{JobID: jobID, Reason: ReasonDeadline, Err: err}
 	case errors.Is(err, context.Canceled):
-		s.recovery.cancelled.Add(1)
+		s.recovery.bump(func() { s.recovery.cancelled.Add(1) })
 		return &JobError{JobID: jobID, Reason: ReasonCancelled, Err: err}
 	}
 	var oe *breaker.OpenError

@@ -73,7 +73,7 @@ func (s *Service) Replay(jr *JobResult) (*JobResult, error) {
 		// reproducibility must not depend on the analysis having changed.
 		out.Plan, out.Decision = s.Opt.Optimize(replaySpec.Root, replaySpec.Meta.JobID, jr.AnnotationsUsed, now)
 	}
-	res, err := s.execute(context.Background(), out.Plan, replaySpec, out.Decision, now, 0)
+	res, err := s.execute(context.Background(), out.Plan, replaySpec, out.Decision, now, 0, nil, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +26,7 @@ import (
 	"cloudviews/internal/exec"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/metadata"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/optimizer"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/storage"
@@ -78,6 +78,12 @@ type Config struct {
 	// waits before letting a half-open probe through. Zero selects the
 	// default (60).
 	BreakerCooldown int64
+	// TraceCapacity sizes the observability layer's per-job trace ring
+	// (how many finished job traces Service.Trace can still serve). Zero
+	// keeps the default capacity with tracing on; negative disables
+	// tracing entirely — metrics stay live (same zero-default /
+	// negative-off convention as CacheBytes).
+	TraceCapacity int
 }
 
 // Defaults for the dependency circuit breakers (Config.BreakerThreshold,
@@ -138,6 +144,10 @@ type Service struct {
 	recovery recoveryCounters
 	admit    admission
 
+	// obsv is the installed observability layer (see observe.go); nil
+	// after SetObserver(nil).
+	obsv *Observer
+
 	// Dependency circuit breakers (nil when Config.BreakerThreshold < 0):
 	// metaBreaker guards metadata lookups, storeBreaker guards view-store
 	// reads. Both run on the simulated clock.
@@ -172,7 +182,14 @@ type RecoveryStats struct {
 	BreakerShortCircuits int64
 }
 
+// recoveryCounters hold the lifecycle and fault-recovery tallies. Writers
+// always go through bump, sharing the RWMutex's read side so unrelated
+// increments stay concurrent; Recovery takes the write side, so a grouped
+// update (e.g. quarantined+replans, bumped together for one quarantine
+// event) is never observed half-applied — plain atomic loads could tear
+// between the two increments and report a replan without its quarantine.
 type recoveryCounters struct {
+	mu          sync.RWMutex
 	retries     atomic.Int64
 	quarantined atomic.Int64
 	replans     atomic.Int64
@@ -182,8 +199,18 @@ type recoveryCounters struct {
 	cancelled   atomic.Int64
 }
 
-// Recovery returns the service's fault-recovery counters.
+// bump applies a group of counter increments atomically with respect to
+// Recovery snapshots.
+func (r *recoveryCounters) bump(f func()) {
+	r.mu.RLock()
+	f()
+	r.mu.RUnlock()
+}
+
+// Recovery returns the service's fault-recovery counters. The snapshot is
+// internally consistent: no grouped update is seen half-applied.
 func (s *Service) Recovery() RecoveryStats {
+	s.recovery.mu.Lock()
 	rs := RecoveryStats{
 		VertexRetries:    s.recovery.retries.Load(),
 		QuarantinedViews: s.recovery.quarantined.Load(),
@@ -193,6 +220,7 @@ func (s *Service) Recovery() RecoveryStats {
 		DeadlineExceeded: s.recovery.deadline.Load(),
 		Cancelled:        s.recovery.cancelled.Load(),
 	}
+	s.recovery.mu.Unlock()
 	for _, b := range []*breaker.Breaker{s.metaBreaker, s.storeBreaker} {
 		if b != nil {
 			rs.BreakerOpens += b.Opens()
@@ -300,6 +328,9 @@ func NewService(cat *catalog.Catalog, cfg Config) *Service {
 			s.storeBreaker.Observe(s.Clock.Now(), err == nil)
 		}
 	}
+	// Observability is on by default: metrics always, tracing unless
+	// Config.TraceCapacity < 0. SetObserver(nil) strips every hook.
+	s.SetObserver(NewObserver(cfg.TraceCapacity))
 	return s
 }
 
@@ -327,101 +358,81 @@ func defaultTags(spec JobSpec) []string {
 	return tags
 }
 
-// Submit runs one job through the full CloudViews pipeline and records it
-// in the workload repository. User scripts (plans) are never modified —
-// optimization operates on an internal clone (transparency, §4).
+// Submit runs one job through the full CloudViews pipeline.
+//
+// Deprecated: use Run, the canonical ctx-first entry point. Submit is
+// exactly Run with context.Background().
 func (s *Service) Submit(spec JobSpec) (*JobResult, error) {
-	return s.SubmitCtx(context.Background(), spec)
+	return s.Run(context.Background(), spec)
 }
 
-// SubmitCtx is Submit with a caller-controlled lifecycle: cancelling ctx
-// stops the job at the next vertex or chunk boundary, releases its build
-// locks and reservations, retracts any views it published, and returns a
-// ReasonCancelled JobError.
+// SubmitCtx is Submit with a caller-controlled lifecycle.
+//
+// Deprecated: use Run; SubmitCtx is an alias kept for source
+// compatibility.
 func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*JobResult, error) {
-	return s.submitAt(ctx, spec, s.Clock.Now())
+	return s.Run(ctx, spec)
 }
 
-// SubmitBatch runs a batch of jobs through the pipeline with up to
-// concurrency jobs in flight (≤ 1 means GOMAXPROCS), returning results in
-// submission order. This is the paper's operating regime — tens of
-// thousands of concurrent jobs per cluster (§2.1) — where build-build and
-// build-consume coordination (§6.5) is real: in-flight jobs arbitrate
-// materialization through the metadata service's locks, and a view sealed
-// early (§6.4) is visible to every other job in the batch immediately.
+// SubmitBatch runs a batch of jobs with up to concurrency in flight
+// (≤ 1 means GOMAXPROCS).
 //
-// All jobs in a batch share one submission timestamp (the clock at batch
-// start), modeling a concurrent arrival wave: admission queueing and lock
-// TTLs see the jobs as simultaneous, so a batch job cannot steal a build
-// lock another batch job still holds. Outputs are deterministic; which
-// job of the batch wins a build lock (and therefore pays materialization
-// cost) depends on scheduling, exactly as with concurrent submitters in
-// production.
-//
-// Each job runs against a private clone of its plan, so specs may share
-// subtrees (or whole plans) with each other and with the caller.
+// Deprecated: use RunBatch, the canonical ctx-first entry point.
 func (s *Service) SubmitBatch(specs []JobSpec, concurrency int) ([]*JobResult, error) {
-	return s.SubmitBatchCtx(context.Background(), specs, concurrency)
+	return s.RunBatch(context.Background(), specs, BatchOptions{Concurrency: concurrency})
 }
 
-// batchConcurrency resolves the SubmitBatch concurrency argument: ≤ 1
-// means one worker per CPU (a single caller-managed worker is what plain
-// Submit is for).
-func batchConcurrency(c int) int {
-	if c <= 1 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return c
-}
-
-// SubmitBatchCtx is SubmitBatch under one shared submission context:
-// cancelling ctx stops every job still in flight. Per-job failures are
-// aggregated with errors.Join — results keeps its per-index entries, and
-// each joined error is wrapped with the batch index and job ID.
+// SubmitBatchCtx is SubmitBatch under one shared submission context.
+//
+// Deprecated: use RunBatch; SubmitBatchCtx is an alias kept for source
+// compatibility.
 func (s *Service) SubmitBatchCtx(ctx context.Context, specs []JobSpec, concurrency int) ([]*JobResult, error) {
-	if len(specs) == 0 {
-		return nil, nil
+	return s.RunBatch(ctx, specs, BatchOptions{Concurrency: concurrency})
+}
+
+// submitAt is the observability shell around submitJob, shared by the
+// serial and batched paths: it counts the submission, opens the job's
+// trace, runs the pipeline, then stamps the outcome (completed/failed
+// counters, latency histogram, lifecycle-outcome counters, root-span
+// attributes) and publishes the finished trace.
+func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobResult, error) {
+	o := s.obsv
+	if o != nil {
+		o.jobsSubmitted.Inc()
 	}
-	concurrency = batchConcurrency(concurrency)
-	now := s.Clock.Now()
-	// Clone every plan up front, serially: plan nodes memoize derived
-	// state (schemas) in place, which would race if two in-flight jobs
-	// shared nodes.
-	jobs := make([]JobSpec, len(specs))
-	for i, spec := range specs {
-		spec.Root = plan.Clone(spec.Root)
-		jobs[i] = spec
-	}
-	results := make([]*JobResult, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, concurrency)
-	var wg sync.WaitGroup
-	for i := range jobs {
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = s.submitAt(ctx, jobs[i], now)
-		}(i)
-	}
-	wg.Wait()
-	var joined []error
-	for i, err := range errs {
-		if err != nil {
-			joined = append(joined, fmt.Errorf("core: batch job %d (%s): %w", i, jobs[i].Meta.JobID, err))
+	tb := s.beginTrace(spec, now)
+	jr, err := s.submitJob(ctx, spec, now, tb)
+	end := float64(now)
+	if err == nil {
+		end = float64(jr.FinishTime)
+		if o != nil {
+			o.jobsCompleted.Inc()
+			o.jobLatency.Observe(jr.FinishTime - jr.StartTime)
+		}
+	} else if o != nil {
+		o.jobsFailed.Inc()
+		var je *JobError
+		if errors.As(err, &je) {
+			switch je.Reason {
+			case ReasonShed:
+				o.jobsShed.Inc()
+			case ReasonDeadline:
+				o.jobsDeadline.Inc()
+			case ReasonCancelled:
+				o.jobsCancelled.Inc()
+			}
 		}
 	}
-	return results, errors.Join(joined...)
+	tb.finish(end, err)
+	return jr, err
 }
 
-// submitAt is Submit with an explicit submission time, shared by the
-// serial and batched paths. It runs the lifecycle gauntlet in order:
-// admission (in-flight slot, draining latch), deadline resolution,
-// deadline-aware shedding against the cluster ledger, then the breaker-
-// gated planning and recovering execution pipeline. Every lifecycle
-// failure comes back as a typed *JobError.
-func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobResult, error) {
+// submitJob runs the lifecycle gauntlet in order: admission (in-flight
+// slot, draining latch), deadline resolution, deadline-aware shedding
+// against the cluster ledger, then the breaker-gated planning and
+// recovering execution pipeline. Every lifecycle failure comes back as a
+// typed *JobError. tb may be nil (tracing off).
+func (s *Service) submitJob(ctx context.Context, spec JobSpec, now int64, tb *traceBuilder) (*JobResult, error) {
 	jobID := spec.Meta.JobID
 	if err := s.admit.enter(ctx, s.Config.MaxInFlight); err != nil {
 		return nil, s.lifecycleError(jobID, err)
@@ -430,6 +441,7 @@ func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobRe
 	if err := ctx.Err(); err != nil {
 		return nil, s.lifecycleError(jobID, err)
 	}
+	adm := tb.span("admission", float64(now), float64(now))
 
 	deadline := s.jobDeadline(spec, now)
 	if deadline > 0 && s.Sched != nil {
@@ -441,7 +453,8 @@ func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobRe
 			tokens = 1
 		}
 		if est, serr := s.Sched.EarliestStart(spec.Meta.VC, tokens, now, 1); serr == nil && est >= deadline {
-			s.recovery.shed.Add(1)
+			s.recovery.bump(func() { s.recovery.shed.Add(1) })
+			adm.Set("shed", "deadline-unreachable")
 			return nil, &JobError{JobID: jobID, Reason: ReasonShed,
 				Err: fmt.Errorf("core: earliest start %d cannot meet deadline %d", est, deadline)}
 		}
@@ -450,17 +463,17 @@ func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobRe
 	jr := &JobResult{Spec: spec, Plan: spec.Root, Decision: &optimizer.Decision{}}
 
 	if s.vcEnabled(spec.Meta.VC) {
-		if err := s.planWithReuse(jr, spec, now); err != nil {
+		if err := s.planWithReuse(jr, spec, now, tb, 0); err != nil {
 			return nil, err
 		}
 	}
 
-	res, err := s.executeRecovering(ctx, jr, spec, now, deadline)
+	res, err := s.executeRecovering(ctx, jr, spec, now, deadline, tb)
 	if err != nil {
 		return nil, s.lifecycleError(jobID, err)
 	}
 	jr.Result = res
-	s.recovery.retries.Add(int64(res.Retries))
+	s.recovery.bump(func() { s.recovery.retries.Add(int64(res.Retries)) })
 
 	// Queueing: reserve VC capacity for the job's simulated duration.
 	jr.StartTime = now
@@ -472,6 +485,8 @@ func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobRe
 		start, aerr := s.Sched.Admit(spec.Meta.VC, tokens, now, int64(res.Latency)+1)
 		if aerr == nil {
 			jr.StartTime = start
+			tb.span("schedule", float64(now), float64(start),
+				obs.A("vc", spec.Meta.VC), obs.A("tokens", itoa(tokens)))
 		}
 	}
 	jr.FinishTime = jr.StartTime + int64(res.Latency)
@@ -503,16 +518,36 @@ func (s *Service) submitAt(ctx context.Context, spec JobSpec, now int64) (*JobRe
 // view-store breaker makes selecting views pointless (reads would only
 // short-circuit), and an open metadata breaker skips the lookup without
 // touching the unhealthy service at all.
-func (s *Service) planWithReuse(jr *JobResult, spec JobSpec, now int64) error {
+// pass is the planning-pass number: 0 for the initial optimization, ≥ 1
+// for quarantine- or breaker-forced replans (stamped on the optimize
+// span, and the lookup child is named "re-match" instead of "match").
+func (s *Service) planWithReuse(jr *JobResult, spec JobSpec, now int64, tb *traceBuilder, pass int) error {
+	tick := float64(now)
+	opt := tb.span("optimize", tick, tick)
+	if pass > 0 {
+		opt.Set("replan", itoa(pass))
+	}
+	matchName := "match"
+	if pass > 0 {
+		matchName = "re-match"
+	}
+	reuseSkip := func(why string) {
+		s.recovery.bump(func() { s.recovery.reuseSkip.Add(1) })
+		if o := s.obsv; o != nil {
+			o.reuseSkipped.Inc()
+		}
+		opt.Set("decision", "skip-reuse")
+		opt.Set("reason", why)
+	}
 	if s.storeBreaker != nil && !s.storeBreaker.Ready(now) {
-		s.recovery.reuseSkip.Add(1)
+		reuseSkip("breaker-open:" + s.storeBreaker.Name())
 		jr.Plan = spec.Root
 		jr.Decision = &optimizer.Decision{BreakerOpen: s.storeBreaker.Name()}
 		jr.AnnotationsUsed = nil
 		return nil
 	}
 	if s.metaBreaker != nil && !s.metaBreaker.Allow(now) {
-		s.recovery.reuseSkip.Add(1)
+		reuseSkip("breaker-open:" + s.metaBreaker.Name())
 		jr.Plan = spec.Root
 		jr.Decision = &optimizer.Decision{MetaUnavailable: true, BreakerOpen: s.metaBreaker.Name()}
 		jr.AnnotationsUsed = nil
@@ -523,18 +558,35 @@ func (s *Service) planWithReuse(jr *JobResult, spec JobSpec, now int64) error {
 		s.metaBreaker.Observe(now, err == nil)
 	}
 	if err != nil {
+		opt.Child(matchName, tick, tick, obs.A("error", "lookup-failed"))
 		if s.Config.MetadataStrict {
 			return &JobError{JobID: spec.Meta.JobID, Reason: ReasonDependency,
 				Err: fmt.Errorf("core: metadata lookup for job %s: %w", spec.Meta.JobID, err)}
 		}
-		s.recovery.reuseSkip.Add(1)
+		reuseSkip("metadata-unavailable")
 		jr.Plan = spec.Root
 		jr.Decision = &optimizer.Decision{MetaUnavailable: true}
 		jr.AnnotationsUsed = nil
 		return nil
 	}
+	opt.Child(matchName, tick, tick, obs.A("annotations", itoa(len(anns))))
 	jr.AnnotationsUsed = annotationsSnapshot(anns)
 	jr.Plan, jr.Decision = s.Opt.Optimize(spec.Root, spec.Meta.JobID, anns, now)
+	if opt != nil {
+		dec := jr.Decision
+		opt.Set("views_used", itoa(len(dec.ViewsUsed)))
+		opt.Set("views_built", itoa(len(dec.ViewsBuilt)))
+		opt.Set("views_rejected", itoa(len(dec.ViewsRejected)))
+		opt.Set("est_cost", ftoa(dec.EstimatedCost))
+		for _, v := range dec.ViewsUsed {
+			opt.Child("inject", tick, tick,
+				obs.A("kind", "scan"), obs.A("sig", v.PreciseSig), obs.A("path", v.Path))
+		}
+		for _, b := range dec.ViewsBuilt {
+			opt.Child("inject", tick, tick,
+				obs.A("kind", "build"), obs.A("sig", b.PreciseSig), obs.A("path", b.Path))
+		}
+	}
 	return nil
 }
 
@@ -550,10 +602,10 @@ const maxReplans = 4
 // plan, which can no longer select the quarantined view. Transient vertex
 // failures never reach this level (the executor's retry loop absorbs
 // them); permanent non-view failures propagate unchanged.
-func (s *Service) executeRecovering(ctx context.Context, jr *JobResult, spec JobSpec, now, deadline int64) (*exec.Result, error) {
+func (s *Service) executeRecovering(ctx context.Context, jr *JobResult, spec JobSpec, now, deadline int64, tb *traceBuilder) (*exec.Result, error) {
 	var quarantined []string
 	for replan := 0; ; replan++ {
-		res, err := s.execute(ctx, jr.Plan, spec, jr.Decision, now, deadline)
+		res, err := s.execute(ctx, jr.Plan, spec, jr.Decision, now, deadline, tb, replan)
 		if err == nil {
 			jr.Decision.QuarantinedViews = quarantined
 			return res, nil
@@ -567,8 +619,8 @@ func (s *Service) executeRecovering(ctx context.Context, jr *JobResult, spec Job
 			if replan >= maxReplans || !s.vcEnabled(spec.Meta.VC) {
 				return nil, err
 			}
-			s.recovery.replans.Add(1)
-			if perr := s.planWithReuse(jr, spec, now); perr != nil {
+			s.recovery.bump(func() { s.recovery.replans.Add(1) })
+			if perr := s.planWithReuse(jr, spec, now, tb, replan+1); perr != nil {
 				return nil, perr
 			}
 			continue
@@ -584,9 +636,13 @@ func (s *Service) executeRecovering(ctx context.Context, jr *JobResult, spec Job
 		}
 		s.Store.Delete(path)
 		quarantined = append(quarantined, path)
-		s.recovery.quarantined.Add(1)
-		s.recovery.replans.Add(1)
-		if err := s.planWithReuse(jr, spec, now); err != nil {
+		// One grouped bump per quarantine event: a Recovery snapshot never
+		// sees the replan without its quarantine.
+		s.recovery.bump(func() {
+			s.recovery.quarantined.Add(1)
+			s.recovery.replans.Add(1)
+		})
+		if err := s.planWithReuse(jr, spec, now, tb, replan+1); err != nil {
 			return nil, err
 		}
 	}
@@ -619,7 +675,7 @@ func viewFailure(err error, dec *optimizer.Decision) (sig, path string, ok bool)
 // A job stopped by cancellation or a deadline additionally retracts the
 // views it already published — a job that did not finish leaves nothing
 // behind.
-func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, dec *optimizer.Decision, now, deadline int64) (*exec.Result, error) {
+func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, dec *optimizer.Decision, now, deadline int64, tb *traceBuilder, attempt int) (*exec.Result, error) {
 	intents := map[string]optimizer.BuildIntent{}
 	for _, b := range dec.ViewsBuilt {
 		intents[b.PreciseSig] = b
@@ -634,6 +690,14 @@ func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, de
 	var pending []metadata.ViewInfo
 
 	ex := *s.Exec // copy so per-job hooks don't race across submissions
+	// Per-attempt vertex hook: metrics flow immediately; when the job is
+	// traced the events are buffered and attached below, only if this
+	// attempt succeeds (see vertexCollector).
+	var col *vertexCollector
+	if o := s.obsv; o != nil {
+		col = &vertexCollector{o: o, buffer: tb != nil}
+		ex.Obs = col
+	}
 	ex.OnViewMaterialized = func(v *storage.View) {
 		intent, ok := intents[v.PreciseSig]
 		if !ok {
@@ -696,7 +760,16 @@ func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, de
 				s.Meta.Unregister(sig)
 				s.Store.Delete(path)
 			}
+			tick := float64(now)
+			for _, path := range sortedPaths(sealed) {
+				tb.span("retract", tick, tick, obs.A("path", path))
+			}
 		}
+		// A failed attempt gets an outcome-only execute span: its buffered
+		// vertex events are discarded because which siblings had already
+		// completed is scheduling-dependent under the DAG executor.
+		tb.span("execute", float64(now), float64(now),
+			obs.A("attempt", itoa(attempt)), obs.A("error", errClass(err)))
 		return nil, err
 	}
 	for _, p := range pending {
@@ -718,6 +791,45 @@ func (s *Service) execute(ctx context.Context, root *plan.Node, spec JobSpec, de
 			}
 		}
 		dec.ViewsBuilt = kept
+	}
+	if tb != nil && col != nil {
+		// All executor workers have joined; col.events is read lock-free.
+		// Every quantity below is simulated (ticks, rows, simulated CPU),
+		// so the span tree is identical across serial and DAG execution —
+		// export order-normalization handles the arrival order.
+		exSpan := tb.span("execute", float64(now), float64(now)+res.Latency,
+			obs.A("attempt", itoa(attempt)))
+		matEnd := map[string]float64{}
+		for _, ev := range col.events {
+			sp := exSpan.Child(ev.Kind, ev.Start, ev.End,
+				obs.A("site", ev.Site), obs.A("rows", itoa64(ev.Rows)),
+				obs.A("bytes", itoa64(ev.Bytes)), obs.A("cpu", ftoa(ev.CPU)))
+			if ev.Attempts > 1 {
+				sp.Set("attempts", itoa(ev.Attempts))
+				sp.Set("retry_wait", ftoa(ev.RetryWait))
+			}
+			if ev.FaultDelay > 0 {
+				sp.Set("fault_delay", ftoa(ev.FaultDelay))
+			}
+			switch {
+			case ev.Cache != "": // view scan: decode (verify included) or cache hit
+				sp.Child("storage.decode", ev.Start, ev.End,
+					obs.A("path", ev.ViewPath), obs.A("cache", ev.Cache))
+			case ev.ViewPath != "": // materialize: columnar encode
+				sp.Child("storage.encode", ev.Start, ev.End, obs.A("path", ev.ViewPath))
+				matEnd[ev.ViewPath] = ev.End
+			}
+		}
+		// Publication spans: one per sealed view, at the tick its encode
+		// finished (early materialization) or the job's end (late mode).
+		jobEnd := float64(now) + res.Latency
+		for _, path := range sortedPaths(sealed) {
+			at := jobEnd
+			if t, ok := matEnd[path]; ok {
+				at = t
+			}
+			tb.span("publish", at, at, obs.A("path", path))
+		}
 	}
 	return res, nil
 }
@@ -753,7 +865,11 @@ func outputsEqual(a, b *exec.Result) error {
 // rather than clobbering the annotations other scopes are serving. It
 // returns the analysis for reporting.
 func (s *Service) RunAnalyzer(cfg analyzer.Config) *analyzer.Analysis {
-	an := analyzer.New(s.Repo).Analyze(cfg)
+	a := analyzer.New(s.Repo)
+	if s.obsv != nil {
+		a.Obs = s.obsv
+	}
+	an := a.Analyze(cfg)
 	if len(cfg.Clusters)+len(cfg.BusinessUnits)+len(cfg.VCs) > 0 {
 		s.Meta.SaveAll(an.Annotations)
 	} else {
@@ -775,7 +891,7 @@ func (s *Service) RunOfflinePhase(spec JobSpec) (int, error) {
 	built := 0
 	for i, p := range plans {
 		dec := &optimizer.Decision{ViewsBuilt: []optimizer.BuildIntent{intents[i]}}
-		if _, err := s.execute(context.Background(), p, spec, dec, now, 0); err != nil {
+		if _, err := s.execute(context.Background(), p, spec, dec, now, 0, nil, 0); err != nil {
 			return built, err
 		}
 		built++

@@ -43,6 +43,44 @@ type FaultHook interface {
 	VertexDelay(job, site string, kind plan.OpKind) float64
 }
 
+// ObsHook is the executor's observability seam (see internal/obs and the
+// core observer that implements it). VertexDone is invoked once per
+// *successful* vertex completion, after the node's stats are final, with
+// an event built entirely from deterministic simulated quantities — so a
+// collector that order-normalizes sees identical event sets on the serial
+// and DAG paths. A nil hook costs one branch per vertex.
+type ObsHook interface {
+	VertexDone(job string, ev VertexEvent)
+}
+
+// VertexEvent describes one completed vertex for the observability layer.
+type VertexEvent struct {
+	// Site is the scheduler-independent vertex key "<ordinal>/<kind>";
+	// Kind the operator kind alone.
+	Site string
+	Kind string
+	// Start and End are the vertex's simulated interval in absolute
+	// logical ticks (submission instant + child latency / node latency).
+	Start, End float64
+	// Rows, Bytes, and CPU are the node's output stats.
+	Rows  int64
+	Bytes int64
+	CPU   float64
+	// Attempts is how many times the vertex ran (1 = no retries);
+	// RetryWait the simulated backoff those retries accumulated and
+	// FaultDelay the injected straggler delay, both in ticks.
+	Attempts   int
+	RetryWait  float64
+	FaultDelay float64
+	// ViewPath is set for ViewScan and Materialize vertices. Cache is the
+	// ViewScan's deterministic cache verdict ("hit"/"miss"), precomputed
+	// at job start in plan order so it does not depend on which concurrent
+	// consumer decodes first (exact runtime hit/miss counts live in the
+	// storage layer's own hook).
+	ViewPath string
+	Cache    string
+}
+
 // RetryPolicy bounds the per-vertex retry loop. Zero values select the
 // defaults; retries apply only to transient errors (see Transient).
 type RetryPolicy struct {
@@ -109,6 +147,10 @@ type Executor struct {
 	// Faults, if set, is consulted around every operator attempt on both
 	// execution paths. Production runs leave it nil.
 	Faults FaultHook
+
+	// Obs, if set, receives one VertexEvent per successful vertex on both
+	// execution paths (see ObsHook). Nil when observability is off.
+	Obs ObsHook
 
 	// Retry bounds the vertex-retry loop; the zero value means defaults.
 	Retry RetryPolicy
@@ -183,6 +225,11 @@ type execState struct {
 	// sites maps each node to its scheduler-independent fault-site key,
 	// "<ordinal in plan.Nodes order>/<op kind>".
 	sites map[*plan.Node]string
+	// cacheVerdict is the deterministic per-ViewScan cache attribution for
+	// observability (nil unless an ObsHook is installed): computed at job
+	// start in plan order, so it never depends on which concurrent
+	// consumer's decode raced into the hot cache first.
+	cacheVerdict map[*plan.Node]string
 	// budget is the job's remaining retry allowance, decremented atomically
 	// by concurrent vertices.
 	budget atomic.Int64
@@ -268,8 +315,32 @@ func (e *Executor) RunCtx(ctx context.Context, root *plan.Node, jobID string, no
 		deadline: deadline,
 		sites:    map[*plan.Node]string{},
 	}
-	for i, n := range plan.Nodes(root) {
+	nodes := plan.Nodes(root)
+	for i, n := range nodes {
 		st.sites[n] = fmt.Sprintf("%d/%s", i, n.Kind)
+	}
+	if e.Obs != nil {
+		// Deterministic cache attribution for the trace: walk ViewScans in
+		// plan order; the first scan of a path reports the cache's state as
+		// of job start, every later scan of the same path reports a hit
+		// (the first scan's decode is resident by then). This is a verdict
+		// about the *plan*, not about which goroutine won the decode race.
+		st.cacheVerdict = map[*plan.Node]string{}
+		seen := map[string]bool{}
+		for _, n := range nodes {
+			if n.Kind != plan.OpViewScan {
+				continue
+			}
+			switch {
+			case seen[n.ViewPath]:
+				st.cacheVerdict[n] = "hit"
+			case e.Store != nil && e.Store.CacheContains(n.ViewPath):
+				st.cacheVerdict[n] = "hit"
+			default:
+				st.cacheVerdict[n] = "miss"
+			}
+			seen[n.ViewPath] = true
+		}
 	}
 	st.budget.Store(int64(e.Retry.withDefaults().JobBudget))
 	if e.Serial {
@@ -320,19 +391,59 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 		childCumCost += cs.CumulativeCost
 	}
 
-	out, outBytes, cost, extra, err := e.runVertex(n, childParts, childStats, st)
+	out, outBytes, cost, vm, err := e.runVertex(n, childParts, childStats, st)
 	if err != nil {
 		return nil, err
 	}
 
 	ns := nodeStats(out, outBytes, cost, childLatency, childCumCost)
-	ns.Latency += extra
+	ns.Latency += vm.extra
 	if st.pastDeadline(ns.Latency) {
 		return nil, st.deadlineErr()
 	}
 	st.res.NodeStats[n] = ns
 	st.memo[n] = out
+	if e.Obs != nil {
+		e.emitVertex(n, ns, childLatency, vm, st)
+	}
 	return out, nil
+}
+
+// vertexMeta is runVertex's per-vertex accounting beyond the kernel
+// output: extra is the simulated latency added to the node (backoff waits
+// plus injected straggler delay); attempts, retryWait, and faultDelay
+// break it down for the observability event.
+type vertexMeta struct {
+	extra      float64
+	attempts   int
+	retryWait  float64
+	faultDelay float64
+}
+
+// emitVertex reports one successful vertex to the observability hook. All
+// fields derive from simulated quantities (stats, plan position, fault
+// decisions), so the event set is identical across execution paths.
+func (e *Executor) emitVertex(n *plan.Node, ns *Stats, childLatency float64, vm vertexMeta, st *execState) {
+	ev := VertexEvent{
+		Site:       st.sites[n],
+		Kind:       n.Kind.String(),
+		Start:      float64(st.now) + childLatency,
+		End:        float64(st.now) + ns.Latency,
+		Rows:       ns.Rows,
+		Bytes:      ns.Bytes,
+		CPU:        ns.ExclusiveCost,
+		Attempts:   vm.attempts,
+		RetryWait:  vm.retryWait,
+		FaultDelay: vm.faultDelay,
+	}
+	switch n.Kind {
+	case plan.OpViewScan:
+		ev.ViewPath = n.ViewPath
+		ev.Cache = st.cacheVerdict[n]
+	case plan.OpMaterialize:
+		ev.ViewPath = n.MatPath
+	}
+	e.Obs.VertexDone(st.job, ev)
 }
 
 // runVertex is the vertex-retry loop shared by the serial walk and the DAG
@@ -341,19 +452,21 @@ func (e *Executor) run(n *plan.Node, st *execState) (partitions, error) {
 // cap and the job's shared retry budget. Retried kernels are idempotent by
 // construction — Output rewrites the same rows, Materialize deduplicates
 // through the store's first-writer-wins Write — so a retry re-runs only
-// this vertex, never its subtree. The returned extra latency (backoff
-// waits plus injected straggler delay) is simulated time for the node's
-// stats; it is deterministic because fault decisions are.
-func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, float64, error) {
+// this vertex, never its subtree. The returned vertexMeta carries the
+// extra simulated latency for the node's stats (backoff waits plus
+// injected straggler delay) and its breakdown for observability; it is
+// deterministic because fault decisions are.
+func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st *execState) (partitions, int64, float64, vertexMeta, error) {
 	policy := e.Retry.withDefaults()
 	site := st.sites[n]
+	vm := vertexMeta{}
 	// Vertex-boundary cancellation checkpoint — also the guard that keeps
 	// any partial output a cancelled child kernel produced from being read.
 	if err := st.checkpoint(); err != nil {
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, vm, err
 	}
-	var extra float64
 	for attempt := 0; ; attempt++ {
+		vm.attempts = attempt + 1
 		out, outBytes, cost, err := e.apply(n, in, inStats, st)
 		if err == nil && e.Faults != nil {
 			if ferr := e.Faults.VertexDone(st.job, site, n.Kind, attempt); ferr != nil {
@@ -362,26 +475,28 @@ func (e *Executor) runVertex(n *plan.Node, in []partitions, inStats []*Stats, st
 		}
 		if err == nil {
 			if e.Faults != nil {
-				extra += e.Faults.VertexDelay(st.job, site, n.Kind)
+				vm.faultDelay = e.Faults.VertexDelay(st.job, site, n.Kind)
+				vm.extra += vm.faultDelay
 			}
-			return out, outBytes, cost, extra, nil
+			return out, outBytes, cost, vm, nil
 		}
 		if !Transient(err) {
-			return nil, 0, 0, 0, err
+			return nil, 0, 0, vm, err
 		}
 		if attempt+1 >= policy.MaxAttempts {
-			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: attempts exhausted: %w", site, err)
+			return nil, 0, 0, vm, fmt.Errorf("exec: vertex %s: attempts exhausted: %w", site, err)
 		}
 		// Re-check the lifecycle before burning a retry: a cancelled job
 		// must not keep re-running a crashing vertex.
 		if cerr := st.checkpoint(); cerr != nil {
-			return nil, 0, 0, 0, cerr
+			return nil, 0, 0, vm, cerr
 		}
 		if st.budget.Add(-1) < 0 {
-			return nil, 0, 0, 0, fmt.Errorf("exec: vertex %s: job retry budget exhausted: %w", site, err)
+			return nil, 0, 0, vm, fmt.Errorf("exec: vertex %s: job retry budget exhausted: %w", site, err)
 		}
 		wait := policy.Backoff(attempt)
-		extra += wait
+		vm.extra += wait
+		vm.retryWait += wait
 		st.noteRetry(wait)
 	}
 }

@@ -224,3 +224,40 @@ func BenchmarkStorageReuseHitJob(b *testing.B) {
 		})
 	}
 }
+
+// nopObsHook is an installed-but-empty vertex hook: the cost of the
+// observability seam itself (event assembly + dynamic dispatch), with no
+// consumer behind it.
+type nopObsHook struct{}
+
+func (nopObsHook) VertexDone(string, VertexEvent) {}
+
+// BenchmarkExecObsOverhead runs the join kernel with the vertex seam
+// empty (hook=off, the state after SetObserver(nil)) and with a no-op
+// hook installed (hook=on). scripts/bench.sh records the pair in
+// BENCH_obs.json; the service-level guard in scripts/check.sh bounds
+// the end-to-end cost this seam contributes to.
+func BenchmarkExecObsOverhead(b *testing.B) {
+	build := func() *plan.Node {
+		return plan.Scan("fact", "fact-v1", salesSchema()).
+			HashJoin(plan.Scan("dim", "dim-v1", itemSchema()), []int{0}, []int{0}).
+			Output("joined")
+	}
+	for _, mode := range []struct {
+		name string
+		hook ObsHook
+	}{{"hook=off", nil}, {"hook=on", nopObsHook{}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := benchEnv(b, 16)
+			e.Obs = mode.hook
+			root := build()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(root, "bench", 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -111,14 +111,14 @@ func (d *dagRun) exec(n *plan.Node) {
 	}
 	d.mu.Unlock()
 
-	out, outBytes, cost, extra, err := d.e.runVertex(n, childParts, childStats, d.st)
+	out, outBytes, cost, vm, err := d.e.runVertex(n, childParts, childStats, d.st)
 
 	// Stats assembly (including any residual byte walk) happens outside
 	// the run lock; only the bookkeeping maps are guarded.
 	var ns *Stats
 	if err == nil {
 		ns = nodeStats(out, outBytes, cost, childLatency, childCumCost)
-		ns.Latency += extra
+		ns.Latency += vm.extra
 		// Deadline enforcement mirrors the serial walk exactly: latency is
 		// monotone up the tree, so whichever vertex observes the overrun
 		// first, the job fails with the same (vertex-independent) error.
@@ -126,6 +126,11 @@ func (d *dagRun) exec(n *plan.Node) {
 			err = d.st.deadlineErr()
 			ns = nil
 		}
+	}
+	if err == nil && d.e.Obs != nil {
+		// Emit outside the run lock, like the kernel itself; the event is
+		// self-contained and the collector order-normalizes.
+		d.e.emitVertex(n, ns, childLatency, vm, d.st)
 	}
 
 	d.mu.Lock()

@@ -105,12 +105,23 @@ type FaultHook interface {
 	Lookup(vc string) error
 }
 
+// ObsHook is the metadata service's observability seam (see
+// internal/obs): LookupDone fires once per TryRelevantViews round trip
+// with how many annotations were served (0 on failure). A nil hook costs
+// nothing; hooks must not call back into the service.
+type ObsHook interface {
+	LookupDone(vc string, annotations int, err error)
+}
+
 // Service is the concurrent metadata store. The zero value is not usable;
 // call NewService.
 type Service struct {
 	// Faults, if set, can fail lookups served through TryRelevantViews.
 	// Production runs leave it nil.
 	Faults FaultHook
+
+	// Obs, if set, observes lookup round trips (see ObsHook).
+	Obs ObsHook
 
 	// mu serializes writers and guards the build-lock table. Read paths
 	// never acquire it.
@@ -302,10 +313,18 @@ func (s *Service) RelevantViews(vc string, jobTags []string) []Annotation {
 func (s *Service) TryRelevantViews(vc string, jobTags []string) ([]Annotation, error) {
 	if s.Faults != nil {
 		if err := s.Faults.Lookup(vc); err != nil {
-			return nil, fmt.Errorf("metadata: relevant-views lookup for %s: %w", vc, err)
+			err = fmt.Errorf("metadata: relevant-views lookup for %s: %w", vc, err)
+			if s.Obs != nil {
+				s.Obs.LookupDone(vc, 0, err)
+			}
+			return nil, err
 		}
 	}
-	return s.RelevantViews(vc, jobTags), nil
+	out := s.RelevantViews(vc, jobTags)
+	if s.Obs != nil {
+		s.Obs.LookupDone(vc, len(out), nil)
+	}
+	return out, nil
 }
 
 // Annotation returns the annotation for a normalized signature, if any.

@@ -1,0 +1,39 @@
+// Package obs is the service's zero-dependency observability layer:
+// per-job span traces plus a registry of named metrics, both expressed on
+// the *simulated* logical clock so that everything they report is as
+// deterministic as the cost model producing it.
+//
+// Tracing: every job gets a span tree (submit → admission → optimize →
+// schedule → execute with per-vertex children → publish/retract). Spans
+// carry logical start/end ticks and string attributes (signatures, cache
+// hit/miss verdicts, breaker state, fault injections). Export is
+// order-normalized — children are sorted by (start, name, attributes)
+// before marshaling — so the JSON bytes for a fixed seed are identical
+// whether the job ran on the serial reference walk or the parallel DAG
+// scheduler, where completion order differs. Traces live in a bounded
+// TraceStore ring keyed by job ID.
+//
+// Metrics: a sharded registry of counters, gauges, and logical-tick
+// histograms. The per-shard instrument index is published copy-on-write
+// (the same pattern as the metadata service's state pointer), so the hot
+// path — look up an instrument, bump an atomic — never takes a lock, and
+// Snapshot reads a consistent index without blocking writers. Instruments
+// are cheap enough that callers may also resolve them once and hold the
+// pointer.
+//
+// The package has no dependencies beyond the standard library and is
+// wired into the layers (core, exec, storage, metadata, cluster) through
+// small hook seams with nil-able hooks, exactly like internal/fault: a
+// service that uninstalls its observer pays only a nil check.
+package obs
+
+// Attr is one key/value attribute on a span. Values are strings so export
+// is trivially stable; callers format numbers with strconv (never %v on
+// floats, whose formatting could drift).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A returns an Attr — sugar for building attribute lists in place.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }

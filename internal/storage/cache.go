@@ -186,6 +186,19 @@ func (c *viewCache) admit(path string, parts [][]data.Row, bytes int64) [][]data
 	return parts
 }
 
+// contains reports residency without touching hit/miss counters or
+// recency — the read-only probe behind Store.CacheContains.
+func (c *viewCache) contains(path string) bool {
+	if c.budget.Load() <= 0 {
+		return false
+	}
+	sh := c.shardFor(path)
+	sh.mu.Lock()
+	_, ok := sh.entries[path]
+	sh.mu.Unlock()
+	return ok
+}
+
 func (c *viewCache) drop(path string) {
 	sh := c.shardFor(path)
 	sh.mu.Lock()
@@ -252,6 +265,14 @@ func (s *Store) CacheBudget() int64 { return s.cache.budget.Load() }
 
 // CacheStats returns a snapshot of hot-view cache counters and gauges.
 func (s *Store) CacheStats() CacheStats { return s.cache.stats() }
+
+// CacheContains reports whether the hot-view cache currently holds a
+// decoded copy of path, without counting a hit or miss and without
+// touching the entry's recency. The executor uses it for deterministic
+// trace attribution: the cache verdict recorded on a ViewScan span must
+// reflect the cache as of job start, not which concurrent consumer's
+// decode happened to land first.
+func (s *Store) CacheContains(path string) bool { return s.cache.contains(path) }
 
 // CachedPaths returns the paths currently resident in the hot-view cache,
 // sorted. Every cached path refers to a stored view — Delete, Purge, and

@@ -52,6 +52,13 @@ type FaultHook interface {
 	WriteView(path string) (corrupt bool, err error)
 }
 
+// ObsHook is the storage observability seam (see the Obs field). A nil
+// hook costs nothing.
+type ObsHook interface {
+	ViewConsumed(path string, cacheHit bool, err error)
+	ViewWritten(path string, encodedBytes int64, created bool)
+}
+
 // NotFoundError reports a read of a path the store does not hold — a
 // dangling metadata registration or a premature purge. It is permanent:
 // retrying the read cannot help, but the consuming job can be re-planned
@@ -141,6 +148,15 @@ type Store struct {
 	// dependency failure. Attempts abandoned by context cancellation are
 	// not reported — they say nothing about the store's health.
 	OnConsume func(path string, err error)
+
+	// Obs, if set, is the storage observability seam (see internal/obs):
+	// ViewConsumed fires per real consume attempt (Gate rejections and
+	// context-abandoned reads excluded, like OnConsume) with whether the
+	// hot cache served it; ViewWritten fires per write that reached the
+	// install step, with the encoded footprint and whether this call
+	// created the view (false = deduplicated against a resident copy).
+	// Hooks must not call back into the store. Nil costs one branch.
+	Obs ObsHook
 
 	mu        sync.RWMutex
 	byPath    map[string]*View
@@ -340,6 +356,20 @@ func (s *Store) WriteCtx(ctx context.Context, v *View, parts [][]data.Row) (crea
 	}
 	checksum := checksumEncoded(blocks)
 
+	created, err = s.install(v, blocks, checksum, encBytes, logicalBytes, rows)
+	// Observability fires outside the store lock (hooks must not call back
+	// into the store, but they may take their own locks) and only for
+	// attempts that reached the install step — failed or deduplicated
+	// writes included, pre-check short-circuits not.
+	if err == nil && s.Obs != nil {
+		s.Obs.ViewWritten(v.Path, encBytes, created)
+	}
+	return created, err
+}
+
+// install revalidates the dedup conditions under the write lock and
+// publishes the encoded payload (see WriteCtx for the semantics).
+func (s *Store) install(v *View, blocks [][]byte, checksum uint64, encBytes, logicalBytes, rows int64) (created bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if res, ok := s.byPath[v.Path]; ok {
@@ -415,27 +445,32 @@ func (s *Store) ConsumeCtx(ctx context.Context, path string) (*View, [][]data.Ro
 			return nil, nil, err
 		}
 	}
-	v, parts, err := s.consume(ctx, path)
-	if s.OnConsume != nil && ctx.Err() == nil {
-		s.OnConsume(path, err)
+	v, parts, hit, err := s.consume(ctx, path)
+	if ctx.Err() == nil {
+		if s.OnConsume != nil {
+			s.OnConsume(path, err)
+		}
+		if s.Obs != nil {
+			s.Obs.ViewConsumed(path, hit, err)
+		}
 	}
 	return v, parts, err
 }
 
-func (s *Store) consume(ctx context.Context, path string) (*View, [][]data.Row, error) {
+func (s *Store) consume(ctx context.Context, path string) (*View, [][]data.Row, bool, error) {
 	if s.Faults != nil {
 		if err := s.Faults.ReadView(path); err != nil {
-			return nil, nil, fmt.Errorf("storage: read %q: %w", path, err)
+			return nil, nil, false, fmt.Errorf("storage: read %q: %w", path, err)
 		}
 	}
 	s.mu.RLock()
 	v, ok := s.byPath[path]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, nil, &NotFoundError{Path: path}
+		return nil, nil, false, &NotFoundError{Path: path}
 	}
 	if parts, hit := s.cache.get(path); hit {
-		return v, parts, nil
+		return v, parts, true, nil
 	}
 	// Verify and decode outside the lock: the payload is immutable.
 	// Concurrent first consumers may both decode; both admit the same
@@ -443,25 +478,25 @@ func (s *Store) consume(ctx context.Context, path string) (*View, [][]data.Row, 
 	// interrupted mid-walk — a partial hash would misreport a healthy view
 	// as corrupt — so the cancellation check sits between the stages.
 	if checksumEncoded(v.Encoded) != v.Checksum {
-		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
+		return nil, nil, false, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
 	}
 	if cerr := ctx.Err(); cerr != nil {
-		return nil, nil, fmt.Errorf("storage: read %q: %w", path, cerr)
+		return nil, nil, false, fmt.Errorf("storage: read %q: %w", path, cerr)
 	}
 	parts, err := decodeParallel(ctx, v.Encoded)
 	if err != nil {
 		// The checksum matched but the payload does not parse: damage that
 		// slipped under the hash, still quarantinable corruption.
-		return nil, nil, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
+		return nil, nil, false, &CorruptError{Path: path, PreciseSig: v.PreciseSig}
 	}
 	// A cancel during the decode leaves nil partitions; return the
 	// context's error rather than serving — or worse, caching — a partial
 	// decode.
 	if cerr := ctx.Err(); cerr != nil {
-		return nil, nil, fmt.Errorf("storage: read %q: %w", path, cerr)
+		return nil, nil, false, fmt.Errorf("storage: read %q: %w", path, cerr)
 	}
 	parts = s.cache.admit(path, parts, v.LogicalBytes)
-	return v, parts, nil
+	return v, parts, false, nil
 }
 
 // LookupPrecise returns the view materialized for the precise signature,

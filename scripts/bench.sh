@@ -328,3 +328,86 @@ SEED
 } > "$STORAGE_OUT"
 
 echo "wrote $STORAGE_OUT"
+
+# ---------------------------------------------------------------------------
+# Observability benchmarks → BENCH_obs.json.
+#
+# Four families: the obs primitives themselves (span-tree emit + JSON
+# export, registry snapshot, sharded counter add), the warmed submit path
+# at the three observability levels (off = every hook seam nil, metrics =
+# counters only, trace = the full default), and the raw exec vertex seam
+# (empty vs no-op hook). The "seed" block is the hookless submit path —
+# obs=off measured on this tree IS the pre-observability baseline, since
+# SetObserver(nil) strips every seam the layer added — so
+# slowdown_vs_seed on obs=metrics/obs=trace is the headline overhead
+# number (check.sh gates the metrics one at OBS_OVERHEAD_PCT). Same
+# per-family process isolation and min-of-passes method as the sweeps
+# above.
+# ---------------------------------------------------------------------------
+
+OBS_OUT=BENCH_obs.json
+OBS_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$EXEC_TMP" "$STORAGE_TMP" "$OBS_TMP"' EXIT
+
+OPASSES="${BENCH_OBS_PASSES:-2}"
+
+pass=1
+while [ "$pass" -le "$OPASSES" ]; do
+	go test -run='^$' -bench='^BenchmarkTraceEmit$|^BenchmarkSnapshot$|^BenchmarkCounterAdd$' \
+		-benchmem -benchtime="$BENCHTIME" ./internal/obs/ | tee -a "$OBS_TMP"
+	go test -run='^$' -bench='^BenchmarkSubmit$' \
+		-benchmem -benchtime="$BENCHTIME" ./internal/core/ | tee -a "$OBS_TMP"
+	go test -run='^$' -bench='^BenchmarkExecObsOverhead$' \
+		-benchmem -benchtime="$BENCHTIME" ./internal/exec/ | tee -a "$OBS_TMP"
+	pass=$((pass + 1))
+done
+
+{
+	printf '{\n'
+	printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "passes": %s,\n' "$OPASSES"
+	cat <<'SEED'
+  "seed": {
+    "BenchmarkSubmit/obs=off": {"ns_op": 41113, "allocs_op": 103}
+  },
+SEED
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = bytes = allocs = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				else if ($i == "B/op") bytes = $(i-1)
+				else if ($i == "allocs/op") allocs = $(i-1)
+			}
+			if (ns == "") next
+			if (!(name in minNs) || ns + 0 < minNs[name] + 0) {
+				minNs[name] = ns
+				minBytes[name] = bytes
+				minAllocs[name] = allocs
+			}
+			if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+		}
+		END {
+			base = minNs["BenchmarkSubmit/obs=off"] + 0
+			printf "  \"current\": {\n"
+			for (i = 0; i < n; i++) {
+				nm = order[i]
+				line = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s", \
+					nm, minNs[nm], minBytes[nm], minAllocs[nm])
+				if (base > 0 && (nm == "BenchmarkSubmit/obs=metrics" || nm == "BenchmarkSubmit/obs=trace"))
+					line = line sprintf(", \"overhead_vs_off_pct\": %.2f", (minNs[nm] - base) / base * 100)
+				line = line "}"
+				printf "%s%s\n", line, (i < n-1 ? "," : "")
+			}
+			printf "  }\n"
+		}
+	' "$OBS_TMP"
+	printf '}\n'
+} > "$OBS_OUT"
+
+echo "wrote $OBS_OUT"

@@ -56,6 +56,52 @@ go test -race -count=1 ./internal/breaker/
 # machinery. The CHAOS_ROUNDS knob scales it; `make chaos` runs the long
 # version.
 CHAOS_ROUNDS="${CHAOS_ROUNDS:-2}" go test -race -run='TestChaosSoak' -count=1 ./internal/core/
+# Observability layer under the race detector, by name: trace export must
+# be byte-identical across serial and DAG execution for a fixed fault
+# seed, Snapshot must stay consistent while a concurrent batch mutates
+# every registry, and the grouped recovery counters must never tear. The
+# obs package's own tests (sharded registry, trace store eviction) run
+# alongside.
+go test -race -run='TestTraceDeterminismSerialVsDAG|TestSnapshotConcurrentWithBatch|TestRecoveryStatsSnapshotConsistent|TestTracingDisabled|TestLifecycleOutcomeMetrics' \
+	-count=1 ./internal/core/
+go test -race -count=1 ./internal/obs/
+# Observability overhead guard on the warmed submit path, obs=off (every
+# hook seam nil) vs obs=metrics (the always-on counters). Two gates:
+#   - allocs/op delta at most OBS_ALLOC_BUDGET (default 5). Allocation
+#     counts are deterministic, so this is the sharp edge — it fails the
+#     moment someone puts a per-submit allocation in a hot hook.
+#   - ns/op: median over OBS_GUARD_SAMPLES runs of each mode in one
+#     process, metrics at most OBS_OVERHEAD_PCT percent over off
+#     (default 20). Deliberately loose: single-sample wall clock on a
+#     shared runner swings ±15%, far above the true sub-1% cost (see
+#     BENCH_obs.json), so the median gate only catches gross
+#     regressions like tracing leaking into the metrics-only path.
+# Full tracing is an opt-in and is not gated; bench.sh records its cost.
+OBS_TMP="$(mktemp)"
+go test -run='^$' -bench='^BenchmarkSubmit$/^obs=(off|metrics)$' \
+	-benchmem -benchtime="${OBS_GUARD_BENCHTIME:-0.2s}" \
+	-count="${OBS_GUARD_SAMPLES:-8}" ./internal/core/ | tee "$OBS_TMP"
+awk -v pct="${OBS_OVERHEAD_PCT:-20}" -v allocbudget="${OBS_ALLOC_BUDGET:-5}" '
+	function median(a, n,    i, j, t) {
+		for (i = 2; i <= n; i++)
+			for (j = i; j > 1 && a[j-1] > a[j]; j--) { t = a[j]; a[j] = a[j-1]; a[j-1] = t }
+		return n % 2 ? a[(n+1)/2] : (a[n/2] + a[n/2+1]) / 2
+	}
+	/^BenchmarkSubmit\/obs=off/     { offs[++no] = $3 + 0; offAllocs = $7 + 0 }
+	/^BenchmarkSubmit\/obs=metrics/ { mets[++nm] = $3 + 0; metAllocs = $7 + 0 }
+	END {
+		if (no == 0 || nm == 0) { print "obs guard: missing benchmark output"; exit 1 }
+		offNs = median(offs, no); metNs = median(mets, nm)
+		dAllocs = metAllocs - offAllocs
+		over = (metNs - offNs) / offNs * 100
+		printf "obs guard: off=%.0fns/%dallocs metrics=%.0fns/%dallocs (medians of %d/%d) " \
+			"overhead=%.2f%% (budget %s%%) +%dallocs (budget %s)\n", \
+			offNs, offAllocs, metNs, metAllocs, no, nm, over, pct, dAllocs, allocbudget
+		if (dAllocs > allocbudget + 0) { print "obs guard: metrics hooks allocate over budget"; exit 1 }
+		if (over > pct + 0) { print "obs guard: metrics overhead over budget"; exit 1 }
+	}
+' "$OBS_TMP"
+rm -f "$OBS_TMP"
 # Exec kernel benchmark smoke: one iteration of every data-plane benchmark
 # exercises the kernels at 4/16/64 partitions (full runs live in bench.sh).
 go test -run='^$' -bench='^BenchmarkExec' -benchtime=1x ./internal/exec/
